@@ -1,0 +1,52 @@
+"""Figure 7b: sampler throughput vs number of sampling threads.
+
+Paper: four threads saturate the (GPU) trainer; throughput peaks ~40K
+tuples/s. Here both the sampler and the trainer are CPU/numpy: a single
+producer already sustains hundreds of thousands of tuples/s at our scale
+— far above what the paper's GPU consumed — and adding Python threads only
+adds GIL/queue overhead. The property that matters for the paper's claim is
+that the sampling pipeline never starves the trainer; we assert every
+thread configuration sustains well above the trainer's consumption rate,
+and report the measured curve.
+"""
+
+import time
+
+from repro.joins.sampler import FullJoinSampler, ThreadedSampler
+
+from conftest import write_result
+
+BATCH = 2048
+BATCHES_PER_MEASURE = 25
+
+
+def _throughput(sampler, n_threads: int) -> float:
+    with ThreadedSampler(sampler, BATCH, n_threads=n_threads, seed=13) as threaded:
+        threaded.get_batch()  # warmup
+        start = time.perf_counter()
+        for _ in range(BATCHES_PER_MEASURE):
+            threaded.get_batch()
+        elapsed = time.perf_counter() - start
+    return BATCH * BATCHES_PER_MEASURE / elapsed
+
+
+def test_fig7b_sampling_threads(light_env, benchmark):
+    sampler = FullJoinSampler(light_env.schema, light_env.counts)
+
+    def run():
+        return {n: _throughput(sampler, n) for n in (1, 2, 4, 8)}
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Figure 7b: sampler throughput vs threads (paper: 4 threads saturate "
+        "the trainer at ~40K tuples/s on 32 vCPUs)",
+        f"{'threads':>8} {'tuples/s':>12}",
+    ]
+    for n, tps in curve.items():
+        lines.append(f"{n:>8} {tps:>12.0f}")
+    write_result("fig7b_threads", "\n".join(lines))
+
+    # Every configuration feeds the trainer far faster than it consumes
+    # (training measures ~20-50K tuples/s on this CPU).
+    assert min(curve.values()) > 50_000
+    assert curve[1] > 100_000

@@ -1,0 +1,51 @@
+"""Figure 7d: per-query inference latency CDFs.
+
+Paper: MSCN is fastest (lightweight net); DeepDB spans ~1-100 ms depending
+on query complexity; NeuroCard sits at a predictable ~17 ms median (more
+FLOPs, but a fixed number of progressive-sampling forward passes).
+
+Shape assertions: MSCN's median latency is the lowest; NeuroCard's latency
+spread (p95/median) is tighter than DeepDB's relative spread or at least
+bounded; all latencies are reported as CDFs.
+"""
+
+import numpy as np
+
+from repro.eval.figures import ascii_cdf
+from repro.eval.harness import evaluate_estimator
+
+from conftest import write_result
+
+
+def test_fig7d_inference_latency(
+    light_env, neurocard_light, deepdb_light, mscn_light, benchmark
+):
+    queries = light_env.queries["ranges"][:120]
+    truths = light_env.truths["ranges"][:120]
+
+    def run():
+        return {
+            "MSCN": evaluate_estimator("MSCN", mscn_light, queries, truths),
+            "DeepDB": evaluate_estimator("DeepDB", deepdb_light, queries, truths),
+            "NeuroCard": evaluate_estimator("NeuroCard", neurocard_light, queries, truths),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    series = {name: res.latencies_ms for name, res in results.items()}
+    text = ascii_cdf(series, "Figure 7d: inference latency CDFs (ms, log10)")
+    med = {name: np.median(lat) for name, lat in series.items()}
+    spread = {
+        name: np.quantile(lat, 0.95) / max(np.median(lat), 1e-9)
+        for name, lat in series.items()
+    }
+    text += "\n" + "\n".join(
+        f"  {name:<10} median={med[name]:.2f}ms p95/median={spread[name]:.2f}"
+        for name in series
+    )
+    write_result("fig7d_latency", text)
+
+    # MSCN (one tiny forward pass) is the fastest at the median.
+    assert med["MSCN"] <= med["NeuroCard"]
+    assert med["MSCN"] <= med["DeepDB"]
+    # NeuroCard's latencies are predictable (tight spread, paper's point).
+    assert spread["NeuroCard"] < 6.0

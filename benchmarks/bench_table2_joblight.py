@@ -1,0 +1,59 @@
+"""Table 2: JOB-light estimation errors across estimators.
+
+Paper (real IMDB):
+    Postgres   70KB   7.97   797   3e3    1e3
+    IBJS       -      1.48   1e3   1e3    1e4
+    MSCN       2.7MB  3.01   136   1e3    1e3
+    DeepDB     3.7MB  1.32   4.90  33.7   72.0
+    NeuroCard  3.8MB  1.57   5.91  8.48   8.51
+
+Shape assertions: NeuroCard has the best tail (p99/max) among all
+estimators; the data-driven estimators (NeuroCard, DeepDB) beat the
+query-driven and classical ones at every quantile.
+"""
+
+from repro.baselines import IBJSEstimator, PostgresEstimator
+from repro.eval.harness import evaluate_estimator, format_report
+
+from conftest import write_result
+
+PAPER_ROWS = {
+    "Postgres": "    7.97      797.0     3000.0     1000.0",
+    "IBJS": "    1.48     1000.0     1000.0    10000.0",
+    "MSCN": "    3.01      136.0     1000.0     1000.0",
+    "DeepDB": "    1.32        4.9       33.7       72.0",
+    "NeuroCard": "    1.57        5.9        8.5        8.5",
+}
+
+
+def test_table2_job_light(light_env, neurocard_light, deepdb_light, mscn_light, benchmark):
+    queries = light_env.queries["job-light"]
+    truths = light_env.truths["job-light"]
+    postgres = PostgresEstimator(light_env.schema)
+    ibjs = IBJSEstimator(light_env.schema, light_env.counts, max_samples=150, seed=0)
+
+    def run():
+        return [
+            evaluate_estimator("Postgres", postgres, queries, truths),
+            evaluate_estimator("IBJS", ibjs, queries, truths),
+            evaluate_estimator("MSCN", mscn_light, queries, truths),
+            evaluate_estimator("DeepDB", deepdb_light, queries, truths),
+            evaluate_estimator("NeuroCard", neurocard_light, queries, truths),
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "table2_joblight",
+        format_report("Table 2: JOB-light estimation errors", results, PAPER_ROWS),
+    )
+
+    by_name = {r.name: r.summary() for r in results}
+    nc = by_name["NeuroCard"]
+    # NeuroCard wins the tail (the headline claim).
+    for other in ("Postgres", "IBJS", "MSCN"):
+        assert nc.p99 <= by_name[other].p99
+        assert nc.maximum <= by_name[other].maximum
+    assert nc.maximum <= by_name["DeepDB"].maximum
+    # Data-driven estimators dominate the classical/query-driven at median.
+    assert min(nc.median, by_name["DeepDB"].median) <= by_name["Postgres"].median
+    assert nc.median < 3.0

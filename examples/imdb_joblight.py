@@ -1,0 +1,45 @@
+"""JOB-light walkthrough: NeuroCard vs a Postgres-style estimator.
+
+Builds the synthetic IMDB star schema, generates JOB-light queries exactly
+as in the paper's §7.1, trains one NeuroCard over all six tables, and prints
+a Table-2-style error report against a classical histogram estimator.
+
+Run:  python examples/imdb_joblight.py            (~1-2 minutes on CPU)
+"""
+
+from repro.baselines import PostgresEstimator
+from repro.core import NeuroCard, NeuroCardConfig
+from repro.eval.harness import evaluate_estimator, format_report, true_cardinalities
+from repro.joins.counts import JoinCounts
+from repro.workloads import job_light_queries, job_light_schema
+from repro.workloads.imdb import DEFAULT_EXCLUDED_COLUMNS, ImdbScale
+
+
+def main() -> None:
+    schema = job_light_schema(ImdbScale(n_title=1200))
+    counts = JoinCounts(schema)
+    print(f"schema: {len(schema.tables)} tables, "
+          f"full outer join = {counts.full_join_size:,.0f} rows")
+
+    queries = job_light_queries(schema, n=70, counts=counts)
+    truths = true_cardinalities(schema, queries, counts)
+
+    config = NeuroCardConfig(
+        train_tuples=500_000, batch_size=512, learning_rate=5e-3,
+        exclude_columns=DEFAULT_EXCLUDED_COLUMNS,
+    )
+    neurocard = NeuroCard(schema, config).fit()
+    print(f"NeuroCard: {neurocard.size_mb:.1f} MB, join counts in "
+          f"{neurocard.prepare_seconds:.2f}s, trained in "
+          f"{neurocard.train_result.wall_seconds:.0f}s")
+
+    results = [
+        evaluate_estimator("Postgres", PostgresEstimator(schema), queries, truths),
+        evaluate_estimator("NeuroCard", neurocard, queries, truths),
+    ]
+    print()
+    print(format_report("JOB-light (70 queries)", results))
+
+
+if __name__ == "__main__":
+    main()

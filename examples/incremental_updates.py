@@ -1,0 +1,51 @@
+"""Incremental updates under partition appends (paper §7.6 / Table 6).
+
+Partitions the synthetic IMDB database on production year, ingests the
+partitions one by one, and compares a stale estimator against fast
+incremental updates — printing the accuracy recovery and update cost.
+
+Run:  python examples/incremental_updates.py      (~2 minutes on CPU)
+"""
+
+import time
+
+from repro.core import NeuroCard, NeuroCardConfig
+from repro.eval.harness import evaluate_estimator, true_cardinalities
+from repro.eval.updates import partition_by_year
+from repro.joins.counts import JoinCounts
+from repro.workloads import job_light_queries, job_light_schema
+from repro.workloads.imdb import DEFAULT_EXCLUDED_COLUMNS, ImdbScale
+
+
+def main() -> None:
+    schema = job_light_schema(ImdbScale(n_title=1000))
+    snapshots = partition_by_year(schema, n_partitions=4)
+    queries = job_light_queries(schema, n=25, counts=JoinCounts(schema))
+
+    config = NeuroCardConfig(
+        train_tuples=300_000, batch_size=512, learning_rate=5e-3,
+        exclude_columns=DEFAULT_EXCLUDED_COLUMNS,
+    )
+    stale = NeuroCard(snapshots[0], config).fit()
+    fresh = NeuroCard(snapshots[0], config).fit()
+
+    print(f"{'ingest':>6} {'titles':>7} | {'stale p95':>10} | {'updated p95':>11} {'update-s':>9}")
+    for k, snapshot in enumerate(snapshots):
+        counts = JoinCounts(snapshot)
+        truths = true_cardinalities(snapshot, queries, counts)
+        update_seconds = 0.0
+        if k > 0:
+            start = time.perf_counter()
+            fresh.update(snapshot, train_tuples=8_192)  # ~3% of the budget
+            update_seconds = time.perf_counter() - start
+        stale_p95 = evaluate_estimator("stale", stale, queries, truths).summary().p95
+        fresh_p95 = evaluate_estimator("fresh", fresh, queries, truths).summary().p95
+        print(f"{k + 1:>6} {snapshot.table('title').n_rows:>7} | "
+              f"{stale_p95:>10.2f} | {fresh_p95:>11.2f} {update_seconds:>9.2f}")
+
+    print("\nThe stale model degrades as new partitions shift the data "
+          "distribution; a few seconds of incremental training recover it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs fail; this keeps ``pip install -e . --no-use-pep517`` (legacy
+``setup.py develop``) working. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

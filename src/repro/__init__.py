@@ -1,0 +1,33 @@
+"""NeuroCard reproduction: one cardinality estimator for all tables.
+
+Public API re-exports the pieces a downstream user needs:
+
+* data & schema: ``Table``, ``JoinSchema``, ``JoinEdge``, ``Query``,
+  ``Predicate``
+* the estimator: ``NeuroCard``, ``NeuroCardConfig`` (and
+  ``repro.core.persistence`` for save/load)
+* ground truth / evaluation: ``query_cardinality``, ``q_error``
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.core.config import NeuroCardConfig
+from repro.core.estimator import NeuroCard
+from repro.eval.metrics import q_error
+from repro.joins.executor import query_cardinality
+from repro.relational import JoinEdge, JoinSchema, Predicate, Query, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NeuroCard",
+    "NeuroCardConfig",
+    "Table",
+    "JoinSchema",
+    "JoinEdge",
+    "Query",
+    "Predicate",
+    "query_cardinality",
+    "q_error",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Baseline estimators the paper compares against (§7.2).
+
+* :class:`PostgresEstimator` — 1D histograms + MCVs + independence and
+  System-R join heuristics (the "real DBMS" baseline).
+* :class:`IBJSEstimator` — Index-Based Join Sampling [20].
+* :class:`BiasedJoinSampler` — IBJS-style biased *training* sampler
+  (ablation A in Table 5).
+* :class:`JoinSampleEstimator` — uniform join samples as a standalone
+  estimator (ablation E).
+* :class:`PerTableAREstimator` — one autoregressive model per table combined
+  via independence (ablation D).
+* :class:`MSCNEstimator` — supervised query-driven regressor with set
+  featurization and sample bitmaps [15].
+* :class:`DeepDBEstimator` — sum-product network ensemble over table
+  subsets with conditional independence across subsets [12].
+"""
+
+from repro.baselines.ibjs import BiasedJoinSampler, IBJSEstimator
+from repro.baselines.mscn import MSCNEstimator
+from repro.baselines.per_table import PerTableAREstimator
+from repro.baselines.postgres import PostgresEstimator
+from repro.baselines.sampling import JoinSampleEstimator
+from repro.baselines.spn import SPN, DeepDBEstimator
+
+__all__ = [
+    "PostgresEstimator",
+    "IBJSEstimator",
+    "BiasedJoinSampler",
+    "JoinSampleEstimator",
+    "PerTableAREstimator",
+    "MSCNEstimator",
+    "DeepDBEstimator",
+    "SPN",
+]

@@ -1,0 +1,136 @@
+"""Index-Based Join Sampling (Leis et al. [20]).
+
+Two roles, as in the paper:
+
+* :class:`IBJSEstimator` — the baseline cardinality estimator: walk the
+  query's join tree from a base-table sample, looking up join partners via
+  indexes and executing filters on the fly; intermediate samples are capped,
+  scaling the estimate multiplicatively. Its samples are neither uniform nor
+  independent w.r.t. the join distribution (§4.2), which is why it collapses
+  at the tail for low-selectivity queries (empty intermediate samples).
+* :class:`BiasedJoinSampler` — the same uniform-partner walk exposed as a
+  *training* sampler for the ablation (Table 5 row A): it produces
+  full-join-shaped tuples from a biased distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.joins.counts import JoinCounts
+from repro.joins.sampler import FullJoinSampler
+from repro.relational.query import Query
+from repro.relational.schema import JoinSchema
+
+
+class IBJSEstimator:
+    """Online join-sampling estimator with capped intermediate samples.
+
+    Maintains a sample of the intermediate join result; every sample row
+    represents ``weight`` real intermediate rows. Expanding along an edge
+    materializes all index matches of the sampled rows (weight preserved),
+    filters drop rows (weight preserved), and capping subsamples (weight
+    scaled up). The estimate is ``weight * |final sample|``.
+    """
+
+    name = "IBJS"
+
+    #: no persistent model is materialized (paper shows Size "-")
+    size_bytes = None
+
+    def __init__(
+        self,
+        schema: JoinSchema,
+        counts: Optional[JoinCounts] = None,
+        max_samples: int = 2000,
+        seed: int = 0,
+    ):
+        self.schema = schema
+        self.counts = counts if counts is not None else JoinCounts(schema)
+        self.max_samples = max_samples
+        self._rng = np.random.default_rng(seed)
+
+    def estimate(self, query: Query) -> float:
+        query.validate(self.schema)
+        rng = self._rng
+        masks = {
+            t: np.ones(self.schema.table(t).n_rows, dtype=bool) for t in query.tables
+        }
+        for pred in query.predicates:
+            masks[pred.table] &= pred.mask(self.schema.table(pred.table))
+
+        root = self.schema.query_root(query.tables)
+        in_query = set(query.tables)
+        order = self.schema.bfs_order(root=root, within=query.tables)
+
+        n_root = self.schema.table(root).n_rows
+        m = min(self.max_samples, max(n_root, 1))
+        weight = n_root / m
+        start = rng.choice(n_root, size=m, replace=False)
+        inter: Dict[str, np.ndarray] = {root: start[masks[root][start]]}
+
+        for tname in order:
+            for edge in self.schema.child_edges(tname):
+                if edge.child not in in_query:
+                    continue
+                parent_rows = inter[tname]
+                k = len(parent_rows)
+                if k == 0:
+                    return 0.0
+                ops = self.counts.edge_ops[edge.name]
+                groups = ops.parent_group_idx[parent_rows]
+                matched = [
+                    ops.child_groups.rows_of_group(g) if g >= 0 else None
+                    for g in groups
+                ]
+                counts = np.array(
+                    [0 if m_ is None else len(m_) for m_ in matched], dtype=np.int64
+                )
+                total = int(counts.sum())
+                if total == 0:
+                    return 0.0
+                child_rows = np.concatenate([m_ for m_ in matched if m_ is not None])
+                parent_idx = np.repeat(np.arange(k), counts)
+                keep = masks[edge.child][child_rows]
+                child_rows, parent_idx = child_rows[keep], parent_idx[keep]
+                if len(child_rows) > self.max_samples:
+                    weight *= len(child_rows) / self.max_samples
+                    pick = rng.choice(len(child_rows), self.max_samples, replace=False)
+                    child_rows, parent_idx = child_rows[pick], parent_idx[pick]
+                inter = {t: arr[parent_idx] for t, arr in inter.items()}
+                inter[edge.child] = child_rows
+        final = len(next(iter(inter.values())))
+        return weight * final
+
+
+class BiasedJoinSampler(FullJoinSampler):
+    """IBJS-style biased sampler with the FullJoinSampler interface.
+
+    Samples the root uniformly over its rows and each child uniformly among
+    the parent's join partners, ignoring join counts entirely; parents with
+    no partner take the virtual NULL tuple, and orphan fragments are never
+    produced. Relative to the true full-join distribution this under-weights
+    high-fanout subtrees — the systematic bias ablated in Table 5 (A).
+    """
+
+    def _fill(self, out, positions, rng):
+        m = len(positions)
+        n_root = self.schema.table(self.schema.root).n_rows
+        out[self.schema.root][positions] = rng.integers(0, n_root, size=m)
+        for edge in self._edges_topdown:
+            ops = self.counts.edge_ops[edge.name]
+            parents = out[edge.parent][positions]
+            child = np.full(m, -1, dtype=np.int64)
+            real = parents >= 0
+            groups = np.where(real, ops.parent_group_idx[np.maximum(parents, 0)], -1)
+            hit = groups >= 0
+            if hit.any():
+                starts = ops.child_groups.offsets[:-1][groups[hit]]
+                ends = ops.child_groups.offsets[1:][groups[hit]]
+                pick = starts + (rng.random(int(hit.sum())) * (ends - starts)).astype(
+                    np.int64
+                )
+                child[hit] = ops.child_groups.row_ids[np.minimum(pick, ends - 1)]
+            out[edge.child][positions] = child

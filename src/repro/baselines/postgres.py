@@ -1,0 +1,163 @@
+"""Postgres-style estimator: per-column stats + independence heuristics.
+
+Mirrors the mechanisms the paper attributes to Postgres v12 (§7.2): each
+column keeps a null fraction, an n_distinct estimate, a most-common-values
+list, and an equi-depth histogram. Predicate selectivities multiply under
+the attribute-value-independence assumption; equi-join selectivity uses the
+System-R ``1 / max(ndv_left, ndv_right)`` rule scaled by key null fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.joins import keyops
+from repro.relational.column import NULL_CODE, Column
+from repro.relational.predicate import Predicate
+from repro.relational.query import Query
+from repro.relational.schema import JoinSchema
+
+
+@dataclass
+class _ColumnStats:
+    null_frac: float
+    n_distinct: int
+    mcv_codes: np.ndarray
+    mcv_freqs: np.ndarray  # fraction of *all* rows
+    hist_bounds: np.ndarray  # equi-depth bounds over non-MCV, non-NULL codes
+    hist_frac: float  # fraction of all rows covered by the histogram
+
+    @property
+    def size_bytes(self) -> int:
+        return 8 * (len(self.mcv_codes) * 2 + len(self.hist_bounds) + 3)
+
+
+def _build_stats(column: Column, n_bins: int, n_mcv: int) -> _ColumnStats:
+    n = max(column.n_rows, 1)
+    codes = column.codes
+    null_frac = float((codes == NULL_CODE).sum()) / n
+    non_null = codes[codes != NULL_CODE]
+    if len(non_null) == 0:
+        return _ColumnStats(null_frac, 0, np.empty(0, dtype=np.int64),
+                            np.empty(0), np.empty(0, dtype=np.int64), 0.0)
+    values, counts = np.unique(non_null, return_counts=True)
+    order = np.argsort(counts)[::-1]
+    take = min(n_mcv, len(values))
+    mcv_codes = values[order[:take]]
+    mcv_freqs = counts[order[:take]] / n
+    rest_mask = ~np.isin(non_null, mcv_codes)
+    rest = np.sort(non_null[rest_mask])
+    if len(rest):
+        qs = np.linspace(0, 1, min(n_bins, len(rest)) + 1)
+        bounds = np.quantile(rest, qs, method="nearest").astype(np.int64)
+    else:
+        bounds = np.empty(0, dtype=np.int64)
+    return _ColumnStats(
+        null_frac=null_frac,
+        n_distinct=int(len(values)),
+        mcv_codes=mcv_codes,
+        mcv_freqs=mcv_freqs,
+        hist_bounds=bounds,
+        hist_frac=float(len(rest)) / n,
+    )
+
+
+def _hist_mass(stats: _ColumnStats, lo: int, hi: int) -> float:
+    """Fraction of histogram-covered rows with code in [lo, hi]."""
+    bounds = stats.hist_bounds
+    if len(bounds) < 2 or stats.hist_frac <= 0:
+        return 0.0
+    n_bins = len(bounds) - 1
+
+    def cdf(code: float) -> float:
+        if code < bounds[0]:
+            return 0.0
+        if code >= bounds[-1]:
+            return 1.0
+        b = int(np.searchsorted(bounds, code, side="right")) - 1
+        b = min(max(b, 0), n_bins - 1)
+        width = bounds[b + 1] - bounds[b]
+        inside = (code - bounds[b]) / width if width > 0 else 1.0
+        return (b + min(inside, 1.0)) / n_bins
+
+    return max(cdf(hi) - cdf(lo - 1e-9), 0.0)
+
+
+class PostgresEstimator:
+    """Classical DBMS cardinality estimation (System-R lineage)."""
+
+    name = "Postgres"
+
+    def __init__(self, schema: JoinSchema, n_bins: int = 100, n_mcv: int = 20):
+        self.schema = schema
+        self.stats: Dict[Tuple[str, str], _ColumnStats] = {}
+        for tname, table in schema.tables.items():
+            for cname, column in table.columns.items():
+                self.stats[(tname, cname)] = _build_stats(column, n_bins, n_mcv)
+        # Per (table, edge) distinct non-NULL key counts for eqjoinsel.
+        self._key_ndv: Dict[Tuple[str, str], Tuple[int, float]] = {}
+        for edge in schema.edges:
+            for side in (edge.parent, edge.child):
+                cols = [schema.table(side).column(c) for c in edge.columns_of(side)]
+                mat = np.stack([c.codes for c in cols], axis=1)
+                packed = keyops.pack_codes(
+                    mat, [c.domain_size for c in cols], null_is_invalid=True
+                )
+                valid = packed[packed >= 0]
+                ndv = int(len(np.unique(valid))) if len(valid) else 0
+                null_frac = 1.0 - len(valid) / max(len(packed), 1)
+                self._key_ndv[(side, edge.name)] = (max(ndv, 1), null_frac)
+
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        return sum(s.size_bytes for s in self.stats.values()) + 16 * len(self._key_ndv)
+
+    # ------------------------------------------------------------------
+    def _eq_selectivity(self, stats: _ColumnStats, code: int | None) -> float:
+        if code is None:
+            return 0.0
+        hit = np.flatnonzero(stats.mcv_codes == code)
+        if len(hit):
+            return float(stats.mcv_freqs[hit[0]])
+        rest_distinct = max(stats.n_distinct - len(stats.mcv_codes), 1)
+        return stats.hist_frac / rest_distinct
+
+    def _pred_selectivity(self, pred: Predicate) -> float:
+        table = self.schema.table(pred.table)
+        column = table.column(pred.column)
+        stats = self.stats[(pred.table, pred.column)]
+        if pred.op == "=":
+            return self._eq_selectivity(stats, column.code_for(pred.value))
+        if pred.op == "IN":
+            return min(
+                sum(self._eq_selectivity(stats, column.code_for(v)) for v in pred.value),
+                1.0,
+            )
+        lo, hi = column.code_range(pred.op, pred.value)
+        if lo > hi:
+            return 0.0
+        in_mcv = float(
+            stats.mcv_freqs[(stats.mcv_codes >= lo) & (stats.mcv_codes <= hi)].sum()
+        )
+        return min(in_mcv + stats.hist_frac * _hist_mass(stats, lo, hi), 1.0)
+
+    # ------------------------------------------------------------------
+    def estimate(self, query: Query) -> float:
+        """Π |T_i| · Π sel(pred) · Π_edges eqjoinsel."""
+        query.validate(self.schema)
+        card = 1.0
+        for tname in query.tables:
+            card *= self.schema.table(tname).n_rows
+        for pred in query.predicates:
+            card *= self._pred_selectivity(pred)
+        in_query = set(query.tables)
+        for edge in self.schema.edges:
+            if edge.parent in in_query and edge.child in in_query:
+                ndv_p, null_p = self._key_ndv[(edge.parent, edge.name)]
+                ndv_c, null_c = self._key_ndv[(edge.child, edge.name)]
+                card *= (1.0 - null_p) * (1.0 - null_c) / max(ndv_p, ndv_c)
+        return max(card, 0.0)

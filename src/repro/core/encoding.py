@@ -1,0 +1,138 @@
+"""Encoding layout: full-join columns -> autoregressive model tokens.
+
+``Layout`` fixes, once per estimator, the mapping between the sampler's
+column universe (:func:`repro.joins.sampler.joined_column_specs`) and the
+model's token columns: per-spec vocabularies (content columns reuse their
+dictionary code space; fanouts get a compact value vocabulary), and the
+lossless factorization of large content domains into subcolumns (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.factorization import Factorizer
+from repro.errors import EstimationError
+from repro.joins.counts import JoinCounts
+from repro.joins.sampler import ColumnSpec, SampleBatch
+from repro.relational.schema import JoinSchema
+
+
+class FanoutEncoder:
+    """Compact vocabulary over observed fanout values (plus the neutral 1).
+
+    Unknown values (possible after incremental data ingests) clamp to the
+    nearest known value rather than failing — fanout columns only enter
+    estimates through ``E[1/F]``, so nearest-value clamping is a benign
+    approximation documented in DESIGN.md.
+    """
+
+    def __init__(self, observed: np.ndarray):
+        values = np.unique(np.concatenate([observed.astype(np.int64), [1]]))
+        self.values = values
+        self.reciprocals = 1.0 / values.astype(np.float64)
+
+    @property
+    def vocab_size(self) -> int:
+        return int(len(self.values))
+
+    def encode(self, raw: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(self.values, raw)
+        idx = np.clip(idx, 0, len(self.values) - 1)
+        lower = np.clip(idx - 1, 0, len(self.values) - 1)
+        use_lower = np.abs(self.values[lower] - raw) < np.abs(self.values[idx] - raw)
+        return np.where(use_lower, lower, idx)
+
+
+@dataclass
+class ModelColumn:
+    """One token column of the autoregressive model."""
+
+    spec: ColumnSpec
+    sub_index: int
+    domain: int
+
+
+class Layout:
+    """The estimator's fixed column layout and tokenization."""
+
+    def __init__(
+        self,
+        schema: JoinSchema,
+        counts: JoinCounts,
+        specs: Sequence[ColumnSpec],
+        factorization_bits: Optional[int],
+    ):
+        self.schema = schema
+        self.specs = list(specs)
+        self.factorization_bits = factorization_bits
+        self.factorizers: Dict[str, Factorizer] = {}
+        self.fanout_encoders: Dict[str, FanoutEncoder] = {}
+        self.columns: List[ModelColumn] = []
+        self.spec_ranges: Dict[str, Tuple[int, int]] = {}
+
+        for spec in self.specs:
+            start = len(self.columns)
+            if spec.kind == "content":
+                domain = schema.table(spec.table).column(spec.column).domain_size
+                factorizer = Factorizer(domain, factorization_bits)
+                self.factorizers[spec.name] = factorizer
+                for k, sub_dom in enumerate(factorizer.sub_domains):
+                    self.columns.append(ModelColumn(spec, k, sub_dom))
+            elif spec.kind == "indicator":
+                self.columns.append(ModelColumn(spec, 0, 2))
+            elif spec.kind == "fanout":
+                ops = counts.edge_ops[spec.edge_name]
+                encoder = FanoutEncoder(ops.fanout_of(spec.table))
+                self.fanout_encoders[spec.name] = encoder
+                self.columns.append(ModelColumn(spec, 0, encoder.vocab_size))
+            else:
+                raise EstimationError(f"unknown spec kind {spec.kind!r}")
+            self.spec_ranges[spec.name] = (start, len(self.columns))
+
+    # ------------------------------------------------------------------
+    @property
+    def domains(self) -> List[int]:
+        """Token vocabulary size per model column (ResMADE's input)."""
+        return [c.domain for c in self.columns]
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.columns)
+
+    def spec_by_name(self, name: str) -> ColumnSpec:
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        raise EstimationError(f"no column spec named {name!r}")
+
+    def encode_batch(self, batch: SampleBatch) -> np.ndarray:
+        """Sampler batch -> token matrix ``(B, n_model_columns)``."""
+        first = next(iter(batch.values()))
+        tokens = np.empty((len(first), self.n_columns), dtype=np.int64)
+        for spec in self.specs:
+            start, end = self.spec_ranges[spec.name]
+            raw = batch[spec.name]
+            if spec.kind == "content":
+                tokens[:, start:end] = self.factorizers[spec.name].encode(raw)
+            elif spec.kind == "indicator":
+                tokens[:, start] = raw
+            else:
+                tokens[:, start] = self.fanout_encoders[spec.name].encode(raw)
+        return tokens
+
+    def content_spec_name(self, table: str, column: str) -> str:
+        return f"{table}.{column}"
+
+    def indicator_spec_name(self, table: str) -> str:
+        return f"__in_{table}"
+
+    def fanout_spec_name(self, table: str, edge) -> Optional[str]:
+        """Model column name downscaling ``table`` via ``edge``; None if the
+        fanout is constantly 1 and was omitted from the model."""
+        key = "_".join(edge.columns_of(table))
+        name = f"__fanout_{table}.{key}"
+        return name if name in self.spec_ranges else None

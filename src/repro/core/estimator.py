@@ -1,0 +1,181 @@
+"""NeuroCard: the public estimator API.
+
+Usage::
+
+    schema = JoinSchema(...)                 # tree of base tables
+    card = NeuroCard(schema).fit()           # counts -> sampler -> train
+    card.estimate(Query.make(["title", "cast_info"],
+                             [Predicate("title", "production_year", ">=", 2000)]))
+
+One fitted estimator answers queries over *any* connected subset of tables
+with arbitrary =, range and IN filters (§2.1). ``update`` implements the
+paper's incremental-training strategy for data ingests (§7.6).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import NeuroCardConfig
+from repro.core.encoding import Layout
+from repro.core.progressive import ProgressiveSampler
+from repro.core.training import TrainResult, train_autoregressive
+from repro.errors import EstimationError, SchemaError
+from repro.joins.counts import JoinCounts
+from repro.joins.sampler import FullJoinSampler, ThreadedSampler, joined_column_specs
+from repro.nn.optim import Adam
+from repro.nn.resmade import ResMADE
+from repro.relational.query import Query
+from repro.relational.schema import JoinSchema
+
+
+class NeuroCard:
+    """A single learned cardinality estimator for all tables of a schema."""
+
+    def __init__(self, schema: JoinSchema, config: Optional[NeuroCardConfig] = None):
+        self.schema = schema
+        self.config = config if config is not None else NeuroCardConfig()
+        self.config.validate()
+        self.counts: Optional[JoinCounts] = None
+        self.sampler: Optional[FullJoinSampler] = None
+        self.layout: Optional[Layout] = None
+        self.model: Optional[ResMADE] = None
+        self.inference: Optional[ProgressiveSampler] = None
+        self.train_result: Optional[TrainResult] = None
+        self.prepare_seconds = 0.0
+        self._optimizer: Optional[Adam] = None
+        self._rng = np.random.default_rng(self.config.seed + 1)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self.inference is not None
+
+    def fit(self, train_tuples: Optional[int] = None) -> "NeuroCard":
+        """Build join counts, train the AR model, prepare inference."""
+        cfg = self.config
+        start = time.perf_counter()
+        self.counts = JoinCounts(self.schema)
+        specs = joined_column_specs(
+            self.schema, self.counts, exclude=cfg.exclude_columns
+        )
+        self.sampler = FullJoinSampler(self.schema, self.counts, specs=specs)
+        self.layout = Layout(self.schema, self.counts, specs, cfg.factorization_bits)
+        self.prepare_seconds = time.perf_counter() - start
+        self.model = ResMADE(
+            self.layout.domains,
+            d_emb=cfg.d_emb,
+            d_ff=cfg.d_ff,
+            n_blocks=cfg.n_blocks,
+            seed=cfg.seed,
+        )
+        n_tuples = train_tuples if train_tuples is not None else cfg.train_tuples
+        self._optimizer = Adam(
+            self.model.parameters(),
+            lr=cfg.learning_rate,
+            total_steps=max(n_tuples // cfg.batch_size, 1),
+        )
+        self._train(n_tuples)
+        self.inference = ProgressiveSampler(
+            self.model, self.layout, self.counts.full_join_size
+        )
+        return self
+
+    def _train(self, n_tuples: int) -> None:
+        cfg = self.config
+        if cfg.sampler_threads > 1:
+            with ThreadedSampler(
+                self.sampler, cfg.batch_size, n_threads=cfg.sampler_threads,
+                seed=cfg.seed,
+            ) as threaded:
+                result = train_autoregressive(
+                    self.model, self.layout, threaded.get_batch,
+                    n_tuples, cfg.batch_size, cfg.learning_rate,
+                    cfg.wildcard_skipping, cfg.seed, optimizer=self._optimizer,
+                )
+        else:
+            rng = np.random.default_rng(cfg.seed)
+            result = train_autoregressive(
+                self.model, self.layout,
+                lambda: self.sampler.sample_batch(cfg.batch_size, rng),
+                n_tuples, cfg.batch_size, cfg.learning_rate,
+                cfg.wildcard_skipping, cfg.seed, optimizer=self._optimizer,
+            )
+        if self.train_result is None:
+            self.train_result = result
+        else:  # accumulate across incremental updates
+            self.train_result.steps += result.steps
+            self.train_result.tuples_seen += result.tuples_seen
+            self.train_result.wall_seconds += result.wall_seconds
+            self.train_result.losses.extend(result.losses)
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self, query: Query, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """Estimated COUNT(*), lower-bounded by 0 (harnesses clamp to 1)."""
+        if not self.is_fitted:
+            raise EstimationError("call fit() before estimate()")
+        return self.inference.estimate(
+            query,
+            n_samples=self.config.progressive_samples,
+            rng=rng if rng is not None else self._rng,
+        )
+
+    # ------------------------------------------------------------------
+    def update(
+        self, new_schema: JoinSchema, train_tuples: Optional[int] = None
+    ) -> "NeuroCard":
+        """Ingest a new data snapshot and incrementally train (§7.6).
+
+        The new snapshot must keep every column's dictionary code space (the
+        update pipeline produces partition-append snapshots whose dictionaries
+        are fixed upfront); join counts, |J|, and the sampler are rebuilt,
+        then the existing model takes additional gradient steps.
+        """
+        if not self.is_fitted:
+            raise EstimationError("call fit() before update()")
+        for name, table in new_schema.tables.items():
+            old = self.schema.table(name)
+            for col_name in old.column_names:
+                if (
+                    table.column(col_name).domain_size
+                    != old.column(col_name).domain_size
+                ):
+                    raise SchemaError(
+                        f"update changed domain of {name}.{col_name}; "
+                        "snapshots must share dictionaries"
+                    )
+        self.schema = new_schema
+        start = time.perf_counter()
+        self.counts = JoinCounts(new_schema)
+        self.sampler = FullJoinSampler(new_schema, self.counts, specs=self.sampler.specs)
+        self.layout.schema = new_schema
+        self.prepare_seconds += time.perf_counter() - start
+        if train_tuples and train_tuples > 0:
+            self._train(train_tuples)
+        self.inference = ProgressiveSampler(
+            self.model, self.layout, self.counts.full_join_size
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """Model size (the paper's reported estimator size)."""
+        if self.model is None:
+            raise EstimationError("not fitted")
+        return self.model.size_bytes
+
+    @property
+    def size_mb(self) -> float:
+        return self.size_bytes / 2**20
+
+    @property
+    def full_join_size(self) -> float:
+        if self.counts is None:
+            raise EstimationError("not fitted")
+        return self.counts.full_join_size

@@ -1,0 +1,90 @@
+"""Model persistence: save/load trained NeuroCard weights.
+
+The paper reports estimator sizes of a few MB and sub-minute (re)build
+times; persisting the trained weights lets a DBMS ship the estimator with a
+snapshot and reload it without retraining. Only the *model parameters* and
+the architecture/config metadata are serialized (``.npz``); join counts and
+the sampler are cheap to rebuild from the data (seconds, §7.4) and are
+reconstructed on load.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import NeuroCardConfig
+from repro.core.estimator import NeuroCard
+from repro.errors import EstimationError
+from repro.relational.schema import JoinSchema
+
+_FORMAT_VERSION = 1
+
+
+def save_model(estimator: NeuroCard, path: str | Path) -> Path:
+    """Serialize a fitted estimator's weights + config to ``path`` (.npz)."""
+    if not estimator.is_fitted:
+        raise EstimationError("cannot save an unfitted estimator")
+    path = Path(path)
+    arrays = {
+        f"param::{i}::{p.name}": p.value
+        for i, p in enumerate(estimator.model.parameters())
+    }
+    config = asdict(estimator.config)
+    config["exclude_columns"] = list(config["exclude_columns"])
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "config": config,
+        "domains": estimator.layout.domains,
+        "tables": sorted(estimator.schema.tables),
+    }
+    np.savez_compressed(path, __meta__=np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    ), **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_model(path: str | Path, schema: JoinSchema) -> NeuroCard:
+    """Rebuild a fitted estimator from saved weights and a schema snapshot.
+
+    The schema must be the same logical schema (same tables and column
+    dictionaries) the estimator was trained on; join counts, the sampler and
+    the inference layout are rebuilt from it.
+    """
+    with np.load(Path(path) if str(path).endswith(".npz") else f"{path}.npz") as data:
+        meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise EstimationError(
+                f"unsupported model format {meta.get('format_version')!r}"
+            )
+        if sorted(schema.tables) != meta["tables"]:
+            raise EstimationError(
+                "schema tables do not match the saved estimator: "
+                f"{sorted(schema.tables)} != {meta['tables']}"
+            )
+        config_dict = dict(meta["config"])
+        config_dict["exclude_columns"] = tuple(config_dict["exclude_columns"])
+        config = NeuroCardConfig(**config_dict)
+        estimator = NeuroCard(schema, config)
+        estimator.fit(train_tuples=1)  # builds counts/layout/model cheaply
+        if estimator.layout.domains != meta["domains"]:
+            raise EstimationError(
+                "schema dictionaries do not match the saved estimator "
+                "(column domains differ)"
+            )
+        params = estimator.model.parameters()
+        keys = sorted(
+            (k for k in data.files if k.startswith("param::")),
+            key=lambda k: int(k.split("::")[1]),
+        )
+        if len(keys) != len(params):
+            raise EstimationError("saved parameter count mismatch")
+        for key, param in zip(keys, params):
+            saved = data[key]
+            if saved.shape != param.value.shape:
+                raise EstimationError(f"shape mismatch for {param.name}")
+            param.value[...] = saved
+    return estimator

@@ -1,0 +1,76 @@
+"""Valid-region algebra over dictionary codes.
+
+Queries constrain each column to a region ``R_i`` (paper Eq. 4): either a
+contiguous code interval (comparison operators, since dictionaries are
+order-preserving) or an explicit code set (IN). Conjunctions of predicates on
+one column intersect their regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class Region:
+    """Either ``interval`` with inclusive ``(lo, hi)`` or ``set`` with codes."""
+
+    kind: str
+    lo: int = 0
+    hi: int = -1
+    codes: Optional[np.ndarray] = None
+
+    @staticmethod
+    def interval(lo: int, hi: int) -> "Region":
+        return Region(kind="interval", lo=int(lo), hi=int(hi))
+
+    @staticmethod
+    def of_codes(codes: np.ndarray) -> "Region":
+        return Region(kind="set", codes=np.unique(np.asarray(codes, dtype=np.int64)))
+
+    @staticmethod
+    def from_predicate(pred_region: Tuple[str, object]) -> "Region":
+        """Build from :meth:`repro.relational.predicate.Predicate.code_region`."""
+        kind, payload = pred_region
+        if kind == "interval":
+            lo, hi = payload
+            return Region.interval(lo, hi)
+        if kind == "set":
+            return Region.of_codes(payload)
+        raise EstimationError(f"unknown region kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        if self.kind == "interval":
+            return self.lo > self.hi
+        return len(self.codes) == 0
+
+    def to_codes(self) -> np.ndarray:
+        """Materialize as an explicit sorted code array."""
+        if self.kind == "set":
+            return self.codes
+        if self.is_empty:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(self.lo, self.hi + 1, dtype=np.int64)
+
+    def intersect(self, other: "Region") -> "Region":
+        """Intersection; interval ∩ interval stays an interval."""
+        if self.kind == "interval" and other.kind == "interval":
+            return Region.interval(max(self.lo, other.lo), min(self.hi, other.hi))
+        if self.kind == "set" and other.kind == "set":
+            return Region.of_codes(np.intersect1d(self.codes, other.codes))
+        interval = self if self.kind == "interval" else other
+        codes = (self if self.kind == "set" else other).codes
+        kept = codes[(codes >= interval.lo) & (codes <= interval.hi)]
+        return Region.of_codes(kept)
+
+    def contains(self, code: int) -> bool:
+        if self.kind == "interval":
+            return self.lo <= code <= self.hi
+        return bool(np.isin(code, self.codes))

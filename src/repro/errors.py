@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """The join schema is malformed (cyclic, disconnected, unknown table/column)."""
+
+
+class QueryError(ReproError):
+    """A query references unknown tables/columns or uses an unsupported shape."""
+
+
+class TrainingError(ReproError):
+    """Model training failed or was configured inconsistently."""
+
+
+class EstimationError(ReproError):
+    """Cardinality estimation failed (e.g. estimator not fitted)."""
+
+
+class DataError(ReproError):
+    """Base-table data is malformed (length mismatch, bad dtype, bad NULLs)."""

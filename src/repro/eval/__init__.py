@@ -1,0 +1,13 @@
+"""Evaluation harness: q-error metrics, workload runners, update pipeline."""
+
+from repro.eval.metrics import ErrorSummary, q_error, summarize_errors
+from repro.eval.harness import EstimatorResult, evaluate_estimator, format_report
+
+__all__ = [
+    "q_error",
+    "summarize_errors",
+    "ErrorSummary",
+    "evaluate_estimator",
+    "EstimatorResult",
+    "format_report",
+]

@@ -1,0 +1,62 @@
+"""Figure helpers: selectivity spectra (Fig. 6) and CDF rendering (Fig. 7d).
+
+Plots are rendered as ASCII/CSV series so the benchmark harness can print
+the same curves the paper draws, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.joins.counts import JoinCounts
+from repro.joins.executor import query_selectivity
+from repro.relational.query import Query
+from repro.relational.schema import JoinSchema
+
+
+def selectivity_spectrum(
+    schema: JoinSchema,
+    queries: Sequence[Query],
+    counts: Optional[JoinCounts] = None,
+) -> np.ndarray:
+    """Per-query selectivity ``card_actual / card_inner`` (§7.1, Fig. 6)."""
+    counts = counts if counts is not None else JoinCounts(schema)
+    return np.array(
+        [query_selectivity(schema, q, counts=counts) for q in queries]
+    )
+
+
+def cdf_series(values: Sequence[float], n_points: int = 11) -> Dict[float, float]:
+    """``{quantile: value}`` pairs describing the CDF of ``values``."""
+    arr = np.asarray(values, dtype=np.float64)
+    qs = np.linspace(0, 1, n_points)
+    return {float(q): float(np.quantile(arr, q)) for q in qs}
+
+
+def ascii_cdf(
+    series: Dict[str, Sequence[float]],
+    title: str,
+    log10: bool = True,
+    width: int = 50,
+) -> str:
+    """Multi-line ASCII rendering of one CDF per labeled series."""
+    lines = [title]
+    for label, values in series.items():
+        arr = np.asarray(values, dtype=np.float64)
+        arr = arr[arr > 0] if log10 else arr
+        if len(arr) == 0:
+            lines.append(f"  {label:<16} (empty)")
+            continue
+        data = np.log10(arr) if log10 else arr
+        lo, hi = float(data.min()), float(data.max())
+        lines.append(
+            f"  {label:<16} min={arr.min():.3g} p50={np.quantile(arr, .5):.3g} "
+            f"max={arr.max():.3g}"
+        )
+        hist, _ = np.histogram(data, bins=width, range=(lo, hi or lo + 1))
+        cum = np.cumsum(hist) / max(hist.sum(), 1)
+        bar = "".join("#" if c >= (i + 1) / width else "." for i, c in enumerate(cum))
+        lines.append(f"  {'':<16} [{bar}]")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Workload runner: evaluate estimators against exact ground truth.
+
+Any object with an ``estimate(query) -> float`` method can be evaluated;
+results carry per-query q-errors and latencies, plus the estimator's size
+when it exposes ``size_bytes`` (the paper's Size column).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.eval.metrics import ErrorSummary, q_error, summarize_errors
+from repro.joins.counts import JoinCounts
+from repro.joins.executor import query_cardinality
+from repro.relational.query import Query
+from repro.relational.schema import JoinSchema
+
+
+@dataclass
+class EstimatorResult:
+    """Per-estimator evaluation record over one workload."""
+
+    name: str
+    errors: List[float] = field(default_factory=list)
+    latencies_ms: List[float] = field(default_factory=list)
+    estimates: List[float] = field(default_factory=list)
+    truths: List[float] = field(default_factory=list)
+    size_bytes: Optional[int] = None
+
+    def summary(self) -> ErrorSummary:
+        return summarize_errors(self.errors)
+
+    @property
+    def size_label(self) -> str:
+        if self.size_bytes is None:
+            return "-"
+        if self.size_bytes >= 2**20:
+            return f"{self.size_bytes / 2**20:.1f}MB"
+        return f"{self.size_bytes / 2**10:.0f}KB"
+
+    @property
+    def median_latency_ms(self) -> float:
+        return float(np.median(self.latencies_ms)) if self.latencies_ms else 0.0
+
+
+def true_cardinalities(
+    schema: JoinSchema, queries: Sequence[Query], counts: Optional[JoinCounts] = None
+) -> List[float]:
+    """Exact COUNT(*) per query via the linear-time executor."""
+    counts = counts if counts is not None else JoinCounts(schema)
+    return [query_cardinality(schema, q, counts=counts) for q in queries]
+
+
+def evaluate_estimator(
+    name: str,
+    estimator,
+    queries: Sequence[Query],
+    truths: Sequence[float],
+) -> EstimatorResult:
+    """Run ``estimator.estimate`` over a workload; collect q-errors/latency."""
+    result = EstimatorResult(name=name)
+    result.size_bytes = getattr(estimator, "size_bytes", None)
+    for query, truth in zip(queries, truths):
+        start = time.perf_counter()
+        estimate = estimator.estimate(query)
+        elapsed = (time.perf_counter() - start) * 1e3
+        result.errors.append(q_error(estimate, truth))
+        result.latencies_ms.append(elapsed)
+        result.estimates.append(float(estimate))
+        result.truths.append(float(truth))
+    return result
+
+
+def format_report(
+    title: str,
+    results: Sequence[EstimatorResult],
+    paper_rows: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render a paper-style table; optionally annotate the paper's numbers."""
+    lines = [title, "=" * len(title)]
+    header = f"{'Estimator':<18} {'Size':>8} {'Median':>8} {'95th':>10} {'99th':>10} {'Max':>10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for res in results:
+        summary = res.summary()
+        lines.append(f"{res.name:<18} {res.size_label:>8} {summary.row()}")
+        if paper_rows and res.name in paper_rows:
+            lines.append(f"{'  (paper)':<18} {'':>8} {paper_rows[res.name]}")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Q-error metrics (paper §7.1).
+
+Q-error of a query is the multiplicative deviation factor
+``max(actual/estimate, estimate/actual)``; both cardinalities are lower
+bounded by 1, so the best attainable value is 1.0. Following the paper we
+report the median and the challenging tail quantiles (95th, 99th, max).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+
+def q_error(estimate: float, actual: float) -> float:
+    """Multiplicative error factor; both sides clamped to >= 1."""
+    est = max(float(estimate), 1.0)
+    act = max(float(actual), 1.0)
+    return max(est / act, act / est)
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Quantiles of a q-error distribution, in the paper's table layout."""
+
+    count: int
+    median: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def row(self) -> str:
+        return (
+            f"{self.median:8.2f} {self.p95:10.1f} {self.p99:10.1f} "
+            f"{self.maximum:10.1f}"
+        )
+
+
+def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
+    """Quantile summary of q-errors (median / p95 / p99 / max)."""
+    if len(errors) == 0:
+        raise EstimationError("no errors to summarize")
+    arr = np.asarray(errors, dtype=np.float64)
+    return ErrorSummary(
+        count=int(arr.size),
+        median=float(np.quantile(arr, 0.5)),
+        p95=float(np.quantile(arr, 0.95)),
+        p99=float(np.quantile(arr, 0.99)),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,29 @@
+"""Join substrate: Exact-Weight counts, uniform full-join sampling, ground truth.
+
+Implements §4 of the paper: the join-count dynamic program over the full
+outer join (`JoinCounts`), the uniform i.i.d. sampler with virtual columns
+(`FullJoinSampler`, `ThreadedSampler`), and — as the evaluation oracle — a
+Yannakakis-style exact cardinality executor (`query_cardinality`).
+"""
+
+from repro.joins.counts import JoinCounts
+from repro.joins.executor import inner_join_count, query_cardinality, query_selectivity
+from repro.joins.sampler import (
+    ColumnSpec,
+    FullJoinSampler,
+    SampleBatch,
+    ThreadedSampler,
+    joined_column_specs,
+)
+
+__all__ = [
+    "JoinCounts",
+    "FullJoinSampler",
+    "ThreadedSampler",
+    "SampleBatch",
+    "ColumnSpec",
+    "joined_column_specs",
+    "query_cardinality",
+    "query_selectivity",
+    "inner_join_count",
+]

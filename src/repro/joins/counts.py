@@ -1,0 +1,118 @@
+"""Exact Weight join counts for the full outer join (paper §4.1).
+
+``JoinCounts`` computes, for every table ``T_i`` and tuple ``t``, the number
+of full-outer-join rows its subtree contributes (Eq. 7), bottom-up in time
+linear in the total number of rows.
+
+NULL handling follows SQL full-outer-join semantics. A full-join row either
+
+* contains a real tuple of the root table — counted by ``w_root`` — or
+* is an *orphan fragment*: its shallowest real tuple is a row of some
+  non-root table with no join partner in its parent; all tables outside that
+  row's subtree are NULL. Orphan fragments from different subtrees never
+  co-occur in one row.
+
+A real tuple whose child table has no match pairs with that child's virtual
+NULL tuple, contributing exactly one combination for the whole child
+subtree (factor 1 in Eq. 7). (The paper's description, which lets a parent's
+⊥ pair independently per child, degenerates when orphans are common — see
+DESIGN.md; with the foreign-key-consistent IMDB data the two formulations
+coincide.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.joins.edgeops import EdgeOps
+from repro.relational.schema import JoinSchema
+
+
+class JoinCounts:
+    """Join-count tables for a schema snapshot.
+
+    Attributes
+    ----------
+    weights:
+        Per table, a float64 array ``w[t]`` over rows: the number of
+        full-join rows of the table's *subtree* in which row ``t`` is this
+        table's tuple (Eq. 7). At the root this is the full-join
+        multiplicity of the root tuple.
+    orphan_sums:
+        Per non-root table ``c``, ``Σ_{r ∈ orphans(c)} w_c(r)`` — rows of
+        ``c`` with no join partner in the parent, weighted by their subtree
+        combinations.
+    null_fragments:
+        Per table ``c``, ``NF(c) = orphan_sum(c) + Σ_{d∈children(c)} NF(d)``:
+        the number of full-join rows whose shallowest real tuple lives in
+        ``c``'s subtree while ``c``'s parent chain is NULL.
+    full_join_size:
+        ``Σ_t w_root(t) + Σ_{c∈children(root)} NF(c)`` — the normalizing
+        constant |J| of §4.1.
+    edge_ops:
+        Per edge name, the :class:`EdgeOps` probe machinery (reused by the
+        sampler, the exact executor and IBJS).
+    """
+
+    def __init__(self, schema: JoinSchema):
+        self.schema = schema
+        self.edge_ops: Dict[str, EdgeOps] = {
+            edge.name: EdgeOps(schema, edge) for edge in schema.edges
+        }
+        self.weights: Dict[str, np.ndarray] = {}
+        self.orphan_sums: Dict[str, float] = {}
+        self.null_fragments: Dict[str, float] = {}
+        self._run_dynamic_program()
+        root = schema.root
+        self.full_join_size = float(
+            self.weights[root].sum()
+            + sum(self.null_fragments[e.child] for e in schema.child_edges(root))
+        )
+
+    # ------------------------------------------------------------------
+    def _run_dynamic_program(self) -> None:
+        order = list(reversed(self.schema.bfs_order()))
+        for table_name in order:
+            table = self.schema.table(table_name)
+            w = np.ones(table.n_rows, dtype=np.float64)
+            for edge in self.schema.child_edges(table_name):
+                ops = self.edge_ops[edge.name]
+                match = ops.match_sums(self.weights[edge.child])
+                # A parent tuple with no child match pairs with the child's
+                # virtual NULL tuple: exactly one combination for the whole
+                # child subtree (w >= 1 everywhere, so match == 0 iff no
+                # matching rows).
+                w *= np.where(match > 0, match, 1.0)
+            self.weights[table_name] = w
+
+            parent_edge = self.schema.parent_edge(table_name)
+            if parent_edge is not None:
+                ops = self.edge_ops[parent_edge.name]
+                self.orphan_sums[table_name] = float(w[ops.orphan_rows].sum())
+            fragment = self.orphan_sums.get(table_name, 0.0)
+            for edge in self.schema.child_edges(table_name):
+                fragment += self.null_fragments[edge.child]
+            # For the root, NF excludes orphan_sum (the root has no parent);
+            # its children's NF values enter full_join_size directly.
+            self.null_fragments[table_name] = fragment
+
+    # ------------------------------------------------------------------
+    def root_weights(self) -> np.ndarray:
+        """Join counts of the root table's rows w.r.t. the entire full join."""
+        return self.weights[self.schema.root]
+
+    def child_fragment_weight(self, table_name: str) -> float:
+        """Σ NF over ``table_name``'s children (weight of deeper fragments)."""
+        return float(
+            sum(
+                self.null_fragments[e.child]
+                for e in self.schema.child_edges(table_name)
+            )
+        )
+
+    def max_fanout(self, table: str, edge_name: str) -> int:
+        """Largest fanout value of a (table, edge) pair; 1 for unique keys."""
+        ops = self.edge_ops[edge_name]
+        return int(ops.fanout_of(table).max(initial=1))

@@ -1,0 +1,108 @@
+"""Per-edge probe/group structures shared by counts, sampler, executor, IBJS.
+
+For every join edge we precompute, once per schema snapshot:
+
+* the child rows grouped by their (packed) key,
+* for every *parent row*, the index of its matching child group (or -1),
+* which child rows are *orphans* (match no parent row — they pair with the
+  parent's virtual NULL tuple in the full outer join),
+* per-row *fanouts* on both sides: the frequency of each row's own key in
+  its own table (1 for NULL-containing keys), the statistic Eq. 9 divides by.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.joins import keyops
+from repro.relational.column import NULL_CODE
+from repro.relational.schema import JoinEdge, JoinSchema
+
+
+class EdgeOps:
+    """All precomputed lookup machinery for one schema edge."""
+
+    def __init__(self, schema: JoinSchema, edge: JoinEdge):
+        self.edge = edge
+        parent = schema.table(edge.parent)
+        child = schema.table(edge.child)
+
+        parent_cols = [parent.column(c) for c in edge.parent_columns]
+        child_cols = [child.column(c) for c in edge.child_columns]
+        radices = [c.domain_size for c in child_cols]
+
+        # Build side: child rows grouped by their own packed key. NULL keys
+        # pack normally (they form never-probed groups).
+        child_mat = np.stack([c.codes for c in child_cols], axis=1)
+        self.child_packed = keyops.pack_codes(child_mat, radices, null_is_invalid=False)
+        self.child_groups = keyops.GroupedRows(self.child_packed)
+
+        # Probe side: each parent row's key translated into the child's code
+        # space; NULL or untranslatable keys become -1 (match nothing).
+        p_to_c = [
+            keyops.translation_array(pc, cc) for pc, cc in zip(parent_cols, child_cols)
+        ]
+        probe_mat = np.stack(
+            [tr[pc.codes] for tr, pc in zip(p_to_c, parent_cols)], axis=1
+        )
+        probe_packed = keyops.pack_codes(probe_mat, radices, null_is_invalid=True)
+        self.parent_group_idx = self.child_groups.find(probe_packed)
+
+        # Orphans: child rows whose key matches no parent row.
+        parent_radices = [c.domain_size for c in parent_cols]
+        parent_own = keyops.pack_codes(
+            np.stack([c.codes for c in parent_cols], axis=1),
+            parent_radices,
+            null_is_invalid=True,
+        )
+        parent_groups = keyops.GroupedRows(parent_own)
+        c_to_p = [
+            keyops.translation_array(cc, pc) for cc, pc in zip(child_cols, parent_cols)
+        ]
+        child_probe_mat = np.stack(
+            [tr[cc.codes] for tr, cc in zip(c_to_p, child_cols)], axis=1
+        )
+        child_probe = keyops.pack_codes(
+            child_probe_mat, parent_radices, null_is_invalid=True
+        )
+        self.child_is_orphan = parent_groups.find(child_probe) == -1
+        self.orphan_rows = np.flatnonzero(self.child_is_orphan)
+
+        # Fanouts: frequency of each row's own key within its own table.
+        self.parent_fanout = keyops.key_frequencies(
+            keyops.pack_codes(
+                np.stack([c.codes for c in parent_cols], axis=1),
+                parent_radices,
+                null_is_invalid=False,
+            )
+        )
+        self.parent_fanout[parent_own == -1] = 1
+        self.child_fanout = keyops.key_frequencies(self.child_packed)
+        child_own_invalid = keyops.pack_codes(
+            np.stack([c.codes for c in child_cols], axis=1),
+            radices,
+            null_is_invalid=True,
+        )
+        self.child_fanout[child_own_invalid == -1] = 1
+
+    # ------------------------------------------------------------------
+    def match_sums(self, child_values: np.ndarray) -> np.ndarray:
+        """For each parent row, sum ``child_values`` over its matching child rows.
+
+        ``child_values`` is indexed by child row id; misses yield 0.0.
+        """
+        group_sums = self.child_groups.group_sums(child_values)
+        return keyops.probe_sums(self.child_groups, group_sums, self.parent_group_idx)
+
+    def match_counts(self) -> np.ndarray:
+        """Number of matching child rows per parent row."""
+        sizes = self.child_groups.group_sizes().astype(np.float64)
+        return keyops.probe_sums(self.child_groups, sizes, self.parent_group_idx)
+
+    def fanout_of(self, table_name: str) -> np.ndarray:
+        """Per-row fanout of ``table_name``'s side of this edge."""
+        if table_name == self.edge.parent:
+            return self.parent_fanout
+        if table_name == self.edge.child:
+            return self.child_fanout
+        raise ValueError(f"{table_name!r} is not an endpoint of {self.edge.name}")

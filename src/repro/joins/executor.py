@@ -1,0 +1,71 @@
+"""Exact cardinalities via Yannakakis-style message passing.
+
+The paper evaluates estimators against true cardinalities obtained by
+actually running queries. For acyclic inner-join queries with per-table
+filters, the exact COUNT is computable in linear time: apply filters to each
+table, then propagate per-row match-counts bottom-up over the query subtree
+(semiring message passing). This module is the evaluation oracle used for
+every workload, and also yields the selectivity denominators of Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.joins.counts import JoinCounts
+from repro.relational.query import Query
+from repro.relational.schema import JoinSchema
+
+
+def _filter_masks(schema: JoinSchema, query: Query) -> Dict[str, np.ndarray]:
+    masks = {
+        t: np.ones(schema.table(t).n_rows, dtype=np.float64) for t in query.tables
+    }
+    for pred in query.predicates:
+        masks[pred.table] *= pred.mask(schema.table(pred.table)).astype(np.float64)
+    return masks
+
+
+def query_cardinality(
+    schema: JoinSchema, query: Query, counts: Optional[JoinCounts] = None
+) -> float:
+    """Exact COUNT(*) of an inner-join query with conjunctive filters."""
+    query.validate(schema)
+    counts = counts if counts is not None else JoinCounts(schema)
+    masks = _filter_masks(schema, query)
+    in_query = set(query.tables)
+    qroot = schema.query_root(query.tables)
+    order = list(reversed(schema.bfs_order(root=qroot, within=query.tables)))
+    weights: Dict[str, np.ndarray] = {}
+    for table_name in order:
+        w = masks[table_name]
+        for edge in schema.child_edges(table_name):
+            if edge.child not in in_query:
+                continue
+            ops = counts.edge_ops[edge.name]
+            w = w * ops.match_sums(weights[edge.child])
+        weights[table_name] = w
+    return float(weights[qroot].sum())
+
+
+def inner_join_count(
+    schema: JoinSchema, tables, counts: Optional[JoinCounts] = None
+) -> float:
+    """Exact row count of the filter-less inner join over ``tables``."""
+    return query_cardinality(schema, Query.make(list(tables)), counts=counts)
+
+
+def query_selectivity(
+    schema: JoinSchema, query: Query, counts: Optional[JoinCounts] = None
+) -> float:
+    """``card_actual / card_inner`` as plotted in Figure 6 (§7.1)."""
+    counts = counts if counts is not None else JoinCounts(schema)
+    denom = inner_join_count(schema, query.tables, counts=counts)
+    if denom == 0:
+        raise QueryError(
+            f"join graph {query.tables} is empty; selectivity undefined"
+        )
+    return query_cardinality(schema, query, counts=counts) / denom

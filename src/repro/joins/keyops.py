@@ -1,0 +1,143 @@
+"""Vectorized composite-key operations shared by the join machinery.
+
+Join keys are tuples of dictionary codes. We *pack* a ``(n, k)`` code matrix
+into a single ``int64`` per row (mixed-radix, a bijection over code tuples),
+then group and probe packed keys with sort/searchsorted. Every consumer of
+edges — the join-count DP, the uniform sampler, the exact executor, and IBJS
+— goes through these helpers, so their join semantics agree by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.relational.column import NULL_CODE, Column
+
+
+def translation_array(src: Column, dst: Column) -> np.ndarray:
+    """Map ``src`` codes to ``dst`` codes by value.
+
+    Index ``c`` holds the ``dst`` code of ``src.dictionary[c - 1]``, ``-1``
+    when the value is absent from ``dst``. ``NULL_CODE`` maps to itself.
+    """
+    arr = np.full(src.domain_size, -1, dtype=np.int64)
+    arr[NULL_CODE] = NULL_CODE
+    if src.n_distinct == 0:
+        return arr
+    if dst.n_distinct == 0:
+        return arr
+    if src.dictionary.dtype.kind != dst.dictionary.dtype.kind:
+        raise DataError(
+            f"cannot translate {src.name!r} ({src.dictionary.dtype}) to "
+            f"{dst.name!r} ({dst.dictionary.dtype}): join key dtypes differ"
+        )
+    idx = np.searchsorted(dst.dictionary, src.dictionary)
+    clipped = np.minimum(idx, dst.n_distinct - 1)
+    found = dst.dictionary[clipped] == src.dictionary
+    arr[1:] = np.where(found, clipped + 1, -1)
+    return arr
+
+
+def pack_codes(
+    mat: np.ndarray, radices: Sequence[int], null_is_invalid: bool
+) -> np.ndarray:
+    """Pack a ``(n, k)`` code matrix into one ``int64`` key per row.
+
+    Components equal to ``-1`` (untranslatable) always yield ``-1``. When
+    ``null_is_invalid`` is set, components equal to ``NULL_CODE`` also yield
+    ``-1`` — use this on the *probe* side, where a NULL key joins nothing.
+    On the *build* side NULL packs normally so NULL-keyed rows form their own
+    (never-probed) groups.
+    """
+    if mat.ndim != 2 or mat.shape[1] != len(radices):
+        raise DataError("pack_codes: shape/radix mismatch")
+    out = np.zeros(mat.shape[0], dtype=np.int64)
+    bad = np.zeros(mat.shape[0], dtype=bool)
+    for j, radix in enumerate(radices):
+        col = mat[:, j]
+        bad |= col < 0
+        if null_is_invalid:
+            bad |= col == NULL_CODE
+        out = out * np.int64(radix) + np.maximum(col, 0)
+    out[bad] = -1
+    return out
+
+
+class GroupedRows:
+    """Rows grouped by packed key: a CSR layout over a sorted permutation.
+
+    ``row_ids`` lists all rows sorted by key; group ``g`` occupies
+    ``row_ids[offsets[g]:offsets[g + 1]]`` and has key ``unique_keys[g]``.
+    """
+
+    __slots__ = ("unique_keys", "offsets", "row_ids")
+
+    def __init__(self, packed: np.ndarray):
+        order = np.argsort(packed, kind="stable")
+        sorted_keys = packed[order]
+        if len(order):
+            boundaries = np.empty(len(order), dtype=bool)
+            boundaries[0] = True
+            boundaries[1:] = sorted_keys[1:] != sorted_keys[:-1]
+            starts = np.flatnonzero(boundaries)
+            self.unique_keys = sorted_keys[starts]
+            self.offsets = np.append(starts, len(order))
+        else:
+            self.unique_keys = np.empty(0, dtype=np.int64)
+            self.offsets = np.zeros(1, dtype=np.int64)
+        self.row_ids = order
+
+    @property
+    def n_groups(self) -> int:
+        return int(len(self.unique_keys))
+
+    def group_sizes(self) -> np.ndarray:
+        """Number of rows per group."""
+        return np.diff(self.offsets)
+
+    def group_sums(self, per_row_values: np.ndarray) -> np.ndarray:
+        """Sum ``per_row_values`` within each group (values indexed by row id)."""
+        if self.n_groups == 0:
+            return np.empty(0, dtype=np.float64)
+        gathered = per_row_values[self.row_ids].astype(np.float64)
+        return np.add.reduceat(gathered, self.offsets[:-1])
+
+    def find(self, query_keys: np.ndarray) -> np.ndarray:
+        """Group index for each query key, ``-1`` when absent or key is ``-1``."""
+        if self.n_groups == 0:
+            return np.full(len(query_keys), -1, dtype=np.int64)
+        idx = np.searchsorted(self.unique_keys, query_keys)
+        clipped = np.minimum(idx, self.n_groups - 1)
+        hit = (self.unique_keys[clipped] == query_keys) & (query_keys != -1)
+        return np.where(hit, clipped, -1)
+
+    def rows_of_group(self, group: int) -> np.ndarray:
+        """Row ids of one group."""
+        return self.row_ids[self.offsets[group] : self.offsets[group + 1]]
+
+
+def key_frequencies(packed: np.ndarray) -> np.ndarray:
+    """Per-row frequency of each row's own packed key within the array.
+
+    Rows whose key packs to ``-1`` (shouldn't happen on the build side) and
+    NULL-containing keys get whatever their group size is; callers decide how
+    to treat NULLs (the sampler overrides NULL-key fanouts to 1).
+    """
+    groups = GroupedRows(packed)
+    sizes = groups.group_sizes()
+    out = np.empty(len(packed), dtype=np.int64)
+    out[groups.row_ids] = np.repeat(sizes, sizes)
+    return out
+
+
+def probe_sums(
+    groups: GroupedRows, group_values: np.ndarray, probe_groups: np.ndarray
+) -> np.ndarray:
+    """Gather a per-group statistic for probe keys (``0.0`` for misses)."""
+    out = np.zeros(len(probe_groups), dtype=np.float64)
+    hit = probe_groups >= 0
+    out[hit] = group_values[probe_groups[hit]]
+    return out

@@ -1,0 +1,408 @@
+"""Uniform i.i.d. sampling of the full outer join (paper §4).
+
+``FullJoinSampler`` draws simple random samples *with replacement* from the
+full outer join without materializing it: the root tuple is drawn with
+probability proportional to its join count, then the join tree is walked
+top-down, sampling each child tuple among the parent's join partners with
+probability proportional to the child's own join count. Virtual columns —
+per-table indicators and per-(table, edge) fanouts (§6) — are appended on
+the fly, exactly as the paper tasks the sampler to do.
+
+``ThreadedSampler`` reproduces the paper's parallel sampling setup (§7.4,
+Fig. 7b): producer threads fill a bounded queue of batches.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.joins.counts import JoinCounts
+from repro.relational.column import NULL_CODE
+from repro.relational.schema import JoinSchema
+
+#: A batch of sampled full-join tuples: column full-name -> int64 array.
+SampleBatch = Dict[str, np.ndarray]
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column of the (virtual) full-join relation the model learns.
+
+    ``kind`` is ``"content"`` (a base-table column, emitted as that table's
+    dictionary codes, NULL code 0), ``"indicator"`` (0/1: does this full-join
+    row have a real tuple from ``table``), or ``"fanout"`` (the frequency of
+    this row's key in ``table`` on edge ``edge_name``; 1 for NULL tuples).
+    """
+
+    kind: str
+    table: str
+    name: str
+    column: Optional[str] = None
+    edge_name: Optional[str] = None
+
+
+def joined_column_specs(
+    schema: JoinSchema,
+    counts: JoinCounts,
+    exclude: Iterable[str] = (),
+    include_unit_fanouts: bool = False,
+) -> List[ColumnSpec]:
+    """The full-join column universe, in the paper's §6 ordering.
+
+    Content columns first (schema BFS order, table definition order), then
+    all indicator columns, then fanout columns. Fanouts that are constantly 1
+    (unique keys, e.g. primary keys) are omitted unless requested — the paper
+    omits them too (Fig. 4c).
+
+    ``exclude`` lists ``"table.column"`` content columns to leave out of the
+    model (e.g. surrogate ID columns nobody filters on).
+    """
+    excluded = set(exclude)
+    specs: List[ColumnSpec] = []
+    order = schema.bfs_order()
+    for table_name in order:
+        for col in schema.table(table_name).column_names:
+            full = f"{table_name}.{col}"
+            if full not in excluded:
+                specs.append(ColumnSpec("content", table_name, full, column=col))
+    for table_name in order:
+        specs.append(ColumnSpec("indicator", table_name, f"__in_{table_name}"))
+    for table_name in order:
+        for edge in schema.incident_edges(table_name):
+            key = "_".join(edge.columns_of(table_name))
+            if include_unit_fanouts or counts.max_fanout(table_name, edge.name) > 1:
+                specs.append(
+                    ColumnSpec(
+                        "fanout",
+                        table_name,
+                        f"__fanout_{table_name}.{key}",
+                        edge_name=edge.name,
+                    )
+                )
+    return specs
+
+
+class _EdgeSamplingState:
+    """Flat cumulative-weight layout for vectorized within-group sampling."""
+
+    def __init__(self, ops, child_weights: np.ndarray):
+        groups = ops.child_groups
+        self.parent_group_idx = ops.parent_group_idx
+        self.sorted_rows = groups.row_ids
+        flat_w = child_weights[self.sorted_rows]
+        self.flat_cumw = np.cumsum(flat_w)
+        self.group_start = groups.offsets[:-1]
+        self.group_end = groups.offsets[1:]
+        base = np.where(
+            self.group_start > 0, self.flat_cumw[self.group_start - 1], 0.0
+        )
+        self.group_base = base
+        self.group_total = (
+            self.flat_cumw[np.maximum(self.group_end - 1, 0)] - base
+            if len(self.flat_cumw)
+            else np.zeros(0)
+        )
+        self.orphan_rows = ops.orphan_rows
+        self.orphan_cumw = np.cumsum(child_weights[self.orphan_rows])
+        self.orphan_total = float(self.orphan_cumw[-1]) if len(self.orphan_cumw) else 0.0
+
+
+class FullJoinSampler:
+    """Uniform sampler over the full outer join of a schema (§4.1)."""
+
+    def __init__(
+        self,
+        schema: JoinSchema,
+        counts: Optional[JoinCounts] = None,
+        specs: Optional[Sequence[ColumnSpec]] = None,
+        exclude: Iterable[str] = (),
+    ):
+        self.schema = schema
+        self.counts = counts if counts is not None else JoinCounts(schema)
+        self.specs = (
+            list(specs)
+            if specs is not None
+            else joined_column_specs(schema, self.counts, exclude=exclude)
+        )
+        self._order = schema.bfs_order()
+        self._edges_topdown = [
+            schema.parent_edge(t) for t in self._order if schema.parent_edge(t)
+        ]
+        root_w = self.counts.weights[schema.root]
+        self._root_cumw = np.cumsum(root_w)
+        self._root_rows_total = float(self._root_cumw[-1]) if len(root_w) else 0.0
+        self._edge_state = {
+            e.name: _EdgeSamplingState(
+                self.counts.edge_ops[e.name], self.counts.weights[e.child]
+            )
+            for e in self._edges_topdown
+        }
+        # Fragment descent weights: for each table, the NF values of its
+        # children (in child_edges order) — used when an orphan fragment is
+        # known to live strictly below a table.
+        self._descend = {
+            t: (
+                [e.child for e in schema.child_edges(t)],
+                np.cumsum(
+                    [self.counts.null_fragments[e.child] for e in schema.child_edges(t)]
+                ),
+            )
+            for t in self._order
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def full_join_size(self) -> float:
+        """|J|, the normalizing constant (§4.1)."""
+        return self.counts.full_join_size
+
+    def column_names(self) -> List[str]:
+        return [s.name for s in self.specs]
+
+    # ------------------------------------------------------------------
+    def sample_row_ids(self, n: int, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        """Sample ``n`` full-join rows; per table, row ids with -1 meaning ⊥.
+
+        Each full-join tuple is drawn with probability 1/|J| (simple random
+        sample with replacement): either a row with a real root tuple, or an
+        orphan fragment whose shallowest real tuple lives in some subtree.
+        """
+        if n <= 0:
+            raise DataError("sample size must be positive")
+        out = {t: np.full(n, -1, dtype=np.int64) for t in self._order}
+        self._fill(out, np.arange(n), rng)
+        return out
+
+    def _pick_fragment_child(
+        self, table: str, count: int, offset: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Choose which child subtree of ``table`` carries each fragment.
+
+        ``offset`` holds residual weights already scaled into the children's
+        cumulative NF range. Returns indices into ``child_edges(table)``.
+        """
+        _children, cum = self._descend[table]
+        idx = np.searchsorted(cum, offset, side="left")
+        return np.minimum(idx, len(cum) - 1)
+
+    def _fill(
+        self, out: Dict[str, np.ndarray], positions: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        m = len(positions)
+        root = self.schema.root
+        root_children, root_cum = self._descend[root]
+        fragment_total = float(root_cum[-1]) if len(root_cum) else 0.0
+        total = self._root_rows_total + fragment_total
+        if total <= 0:
+            raise DataError("full join is empty; nothing to sample")
+        targets = rng.random(m) * total
+        real = targets < self._root_rows_total
+        root_rows = np.full(m, -1, dtype=np.int64)
+        if real.any():
+            idx = np.searchsorted(self._root_cumw, targets[real], side="right")
+            root_rows[real] = np.minimum(idx, len(self._root_cumw) - 1)
+        out[root][positions] = root_rows
+
+        # fragment[i] = table whose subtree carries position i's orphan
+        # fragment ('' = none). Set for rows without a real root tuple.
+        fragment = np.full(m, "", dtype=object)
+        if (~real).any():
+            residual = targets[~real] - self._root_rows_total
+            pick = self._pick_fragment_child(root, int((~real).sum()), residual, rng)
+            fragment[~real] = np.array(root_children, dtype=object)[pick]
+
+        for edge in self._edges_topdown:
+            state = self._edge_state[edge.name]
+            parents = out[edge.parent][positions]
+            child = np.full(m, -1, dtype=np.int64)
+
+            real_parent = parents >= 0
+            if real_parent.any():
+                groups = state.parent_group_idx[parents[real_parent]]
+                hit = groups >= 0
+                if hit.any():
+                    gg = groups[hit]
+                    u = 1.0 - rng.random(len(gg))
+                    target = state.group_base[gg] + u * state.group_total[gg]
+                    flat_idx = np.searchsorted(state.flat_cumw, target, side="left")
+                    flat_idx = np.clip(
+                        flat_idx, state.group_start[gg], state.group_end[gg] - 1
+                    )
+                    chosen = state.sorted_rows[flat_idx]
+                    tmp = np.full(len(groups), -1, dtype=np.int64)
+                    tmp[hit] = chosen
+                    child[real_parent] = tmp
+
+            carries = fragment == edge.child
+            if carries.any():
+                k = int(carries.sum())
+                _desc_children, desc_cum = self._descend[edge.child]
+                deeper_total = float(desc_cum[-1]) if len(desc_cum) else 0.0
+                total_here = state.orphan_total + deeper_total
+                u = (1.0 - rng.random(k)) * total_here
+                take_orphan = u <= state.orphan_total
+                picked = np.full(k, -1, dtype=np.int64)
+                if take_orphan.any():
+                    oidx = np.searchsorted(
+                        state.orphan_cumw, u[take_orphan], side="left"
+                    )
+                    oidx = np.minimum(oidx, len(state.orphan_rows) - 1)
+                    picked[take_orphan] = state.orphan_rows[oidx]
+                child[carries] = picked
+                # Resolve or push the fragment one level down.
+                new_fragment = np.full(k, "", dtype=object)
+                if (~take_orphan).any():
+                    residual = u[~take_orphan] - state.orphan_total
+                    pick = self._pick_fragment_child(
+                        edge.child, int((~take_orphan).sum()), residual, rng
+                    )
+                    new_fragment[~take_orphan] = np.array(
+                        _desc_children, dtype=object
+                    )[pick]
+                fragment[carries] = new_fragment
+
+            out[edge.child][positions] = child
+
+    # ------------------------------------------------------------------
+    def assemble(self, rows: Dict[str, np.ndarray]) -> SampleBatch:
+        """Materialize sampled row ids into the full-join column layout."""
+        batch: SampleBatch = {}
+        for spec in self.specs:
+            r = rows[spec.table]
+            real = r >= 0
+            safe = np.maximum(r, 0)
+            if spec.kind == "content":
+                codes = self.schema.table(spec.table).codes(spec.column)
+                batch[spec.name] = np.where(real, codes[safe], NULL_CODE)
+            elif spec.kind == "indicator":
+                batch[spec.name] = real.astype(np.int64)
+            else:
+                fanout = self.counts.edge_ops[spec.edge_name].fanout_of(spec.table)
+                batch[spec.name] = np.where(real, fanout[safe], 1)
+        return batch
+
+    def sample_batch(self, n: int, rng: np.random.Generator) -> SampleBatch:
+        """Draw ``n`` uniform full-join tuples as model-ready columns."""
+        return self.assemble(self.sample_row_ids(n, rng))
+
+
+class InnerJoinSampler:
+    """Uniform sampling of the *inner* join of a connected table subset.
+
+    Used by the JOB-light-ranges / JOB-M query generators (§7.1), which draw
+    a tuple from each query graph's inner join result to pick filter literals
+    that guarantee non-empty answers. Same Exact-Weight machinery as the full
+    join, but match-less branches get weight zero instead of pairing with ⊥.
+    """
+
+    def __init__(self, schema: JoinSchema, counts: Optional[JoinCounts] = None):
+        self.schema = schema
+        self.counts = counts if counts is not None else JoinCounts(schema)
+
+    def sample_row_ids(
+        self, tables: Sequence[str], n: int, rng: np.random.Generator
+    ) -> Dict[str, np.ndarray]:
+        """Sample ``n`` inner-join tuples over ``tables``; per-table row ids.
+
+        Raises :class:`DataError` when the inner join is empty.
+        """
+        tables = list(tables)
+        root = self.schema.query_root(tables)
+        in_query = set(tables)
+        order = self.schema.bfs_order(root=root, within=tables)
+
+        # Bottom-up inner-join weights restricted to the query subtree.
+        weights: Dict[str, np.ndarray] = {}
+        for t in reversed(order):
+            w = np.ones(self.schema.table(t).n_rows, dtype=np.float64)
+            for edge in self.schema.child_edges(t):
+                if edge.child in in_query:
+                    w *= self.counts.edge_ops[edge.name].match_sums(weights[edge.child])
+            weights[t] = w
+
+        total = weights[root].sum()
+        if total <= 0:
+            raise DataError(f"inner join over {tables} is empty")
+        out: Dict[str, np.ndarray] = {}
+        cum = np.cumsum(weights[root])
+        targets = rng.random(n) * total
+        out[root] = np.minimum(
+            np.searchsorted(cum, targets, side="right"), len(cum) - 1
+        )
+        for t in order:
+            for edge in self.schema.child_edges(t):
+                if edge.child not in in_query:
+                    continue
+                ops = self.counts.edge_ops[edge.name]
+                state = _EdgeSamplingState(ops, weights[edge.child])
+                groups = state.parent_group_idx[out[t]]
+                if (groups < 0).any():
+                    raise DataError("inner-join sampling hit a match-less parent")
+                u = 1.0 - rng.random(n)
+                target = state.group_base[groups] + u * state.group_total[groups]
+                idx = np.searchsorted(state.flat_cumw, target, side="left")
+                idx = np.clip(idx, state.group_start[groups], state.group_end[groups] - 1)
+                out[edge.child] = state.sorted_rows[idx]
+        return out
+
+
+class ThreadedSampler:
+    """Multi-threaded batch producer over a :class:`FullJoinSampler`.
+
+    Mirrors the paper's background sampling threads (§2.2, Fig. 7b):
+    ``n_threads`` producers push batches into a bounded queue; the training
+    loop consumes with :meth:`get_batch`. Each thread owns an independent
+    seeded generator, so samples stay i.i.d. regardless of thread count.
+    """
+
+    def __init__(
+        self,
+        sampler: FullJoinSampler,
+        batch_size: int,
+        n_threads: int = 4,
+        seed: int = 0,
+        max_queued: int = 16,
+    ):
+        self.sampler = sampler
+        self.batch_size = batch_size
+        self._queue: "queue.Queue[SampleBatch]" = queue.Queue(maxsize=max_queued)
+        self._stop = threading.Event()
+        seeds = np.random.SeedSequence(seed).spawn(n_threads)
+        self._threads = [
+            threading.Thread(target=self._produce, args=(np.random.default_rng(s),), daemon=True)
+            for s in seeds
+        ]
+        for t in self._threads:
+            t.start()
+
+    def _produce(self, rng: np.random.Generator) -> None:
+        while not self._stop.is_set():
+            batch = self.sampler.sample_batch(self.batch_size, rng)
+            while not self._stop.is_set():
+                try:
+                    self._queue.put(batch, timeout=0.05)
+                    break
+                except queue.Full:
+                    continue
+
+    def get_batch(self, timeout: float = 30.0) -> SampleBatch:
+        """Blocking fetch of the next produced batch."""
+        return self._queue.get(timeout=timeout)
+
+    def close(self) -> None:
+        """Stop producers and join threads."""
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+    def __enter__(self) -> "ThreadedSampler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,29 @@
+"""Numpy deep-learning substrate.
+
+The paper trains its autoregressive model in PyTorch on a GPU; this
+environment has neither, so the entire stack — embeddings, masked linear
+layers, residual blocks, cross-entropy, Adam — is implemented from scratch
+over numpy with hand-derived gradients. The same layers power both
+NeuroCard's ResMADE density model and the MSCN baseline's regressor.
+"""
+
+from repro.nn.layers import Embedding, Linear, Parameter, ReLU, Sigmoid
+from repro.nn.masks import hidden_degrees, hidden_mask, input_mask, output_mask
+from repro.nn.mlp import MLP
+from repro.nn.optim import Adam
+from repro.nn.resmade import ResMADE
+
+__all__ = [
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "ReLU",
+    "Sigmoid",
+    "MLP",
+    "Adam",
+    "ResMADE",
+    "input_mask",
+    "hidden_mask",
+    "output_mask",
+    "hidden_degrees",
+]

@@ -1,0 +1,178 @@
+"""Neural layers with explicit forward/backward passes.
+
+Each layer caches what its backward pass needs during ``forward`` and
+accumulates parameter gradients into :class:`Parameter.grad` during
+``backward`` (returning the gradient w.r.t. its input). Layers are stateful
+per call — a layer instance participates in one forward/backward pair at a
+time, which is all the training loops here require.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+class Parameter:
+    """A trainable tensor plus its gradient accumulator."""
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, name: str, value: np.ndarray):
+        self.name = name
+        self.value = value
+        self.grad = np.zeros_like(value)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.value.nbytes
+
+
+class Linear:
+    """(Optionally masked) affine layer ``y = x @ (W ∘ M)^T + b``.
+
+    ``mask`` (shape ``(d_out, d_in)``) zeroes connections; the MADE masks
+    of :mod:`repro.nn.masks` enforce the autoregressive property.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        d_in: int,
+        d_out: int,
+        mask: Optional[np.ndarray] = None,
+        name: str = "linear",
+        dtype=np.float32,
+    ):
+        scale = np.sqrt(2.0 / max(d_in, 1))
+        weight = (rng.standard_normal((d_out, d_in)) * scale).astype(dtype)
+        self.W = Parameter(f"{name}.W", weight)
+        self.b = Parameter(f"{name}.b", np.zeros(d_out, dtype=dtype))
+        if mask is not None and mask.shape != (d_out, d_in):
+            raise TrainingError(
+                f"{name}: mask shape {mask.shape} != ({d_out}, {d_in})"
+            )
+        self.mask = None if mask is None else mask.astype(dtype)
+        self._x: Optional[np.ndarray] = None
+
+    def effective_weight(self) -> np.ndarray:
+        return self.W.value if self.mask is None else self.W.value * self.mask
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.effective_weight().T + self.b.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise TrainingError("backward called before forward")
+        dW = grad_out.T @ self._x
+        if self.mask is not None:
+            dW *= self.mask
+        self.W.grad += dW
+        self.b.grad += grad_out.sum(axis=0)
+        return grad_out @ self.effective_weight()
+
+    def parameters(self) -> List[Parameter]:
+        return [self.W, self.b]
+
+
+class Embedding:
+    """Lookup table with scatter-add backward."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        vocab: int,
+        dim: int,
+        name: str = "embed",
+        dtype=np.float32,
+    ):
+        self.vocab = vocab
+        weight = (rng.standard_normal((vocab, dim)) * 0.1).astype(dtype)
+        self.W = Parameter(f"{name}.W", weight)
+        self._ids: Optional[np.ndarray] = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.vocab:
+            raise TrainingError(
+                f"{self.W.name}: token id outside vocabulary of size {self.vocab}"
+            )
+        self._ids = ids
+        return self.W.value[ids]
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        if self._ids is None:
+            raise TrainingError("backward called before forward")
+        # Sort + reduceat scatter-add: much faster than np.add.at.
+        order = np.argsort(self._ids, kind="stable")
+        sorted_ids = self._ids[order]
+        boundaries = np.empty(len(order), dtype=bool)
+        if len(order) == 0:
+            return
+        boundaries[0] = True
+        boundaries[1:] = sorted_ids[1:] != sorted_ids[:-1]
+        starts = np.flatnonzero(boundaries)
+        sums = np.add.reduceat(grad_out[order], starts, axis=0)
+        self.W.grad[sorted_ids[starts]] += sums
+
+    def parameters(self) -> List[Parameter]:
+        return [self.W]
+
+
+class ReLU:
+    """Elementwise max(x, 0)."""
+
+    def __init__(self):
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._mask
+
+
+class Sigmoid:
+    """Elementwise logistic function (used by the MSCN baseline's head)."""
+
+    def __init__(self):
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._y * (1.0 - self._y)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stabilized."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray):
+    """Mean NLL over the batch and its gradient w.r.t. the logits.
+
+    Computed in the logits' own dtype with in-place buffers; float32 is
+    numerically sufficient here (probabilities are clamped before the log).
+    """
+    batch = logits.shape[0]
+    rows = np.arange(batch)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=1, keepdims=True)
+    picked = shifted[rows, targets]
+    loss = float(-np.log(np.maximum(picked, 1e-30)).mean())
+    shifted[rows, targets] -= 1.0
+    shifted /= batch
+    return loss, shifted

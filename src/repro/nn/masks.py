@@ -1,0 +1,46 @@
+"""MADE mask construction at column granularity (Germain et al. [6]).
+
+Units are labeled with *degrees*: an input unit belonging to column ``j``
+has degree ``j``; a hidden unit of degree ``m`` may only read inputs of
+columns ``<= m``; the output group of column ``j`` may only read hidden
+units of degree ``< j``. Composing these masks makes the network's logits
+for column ``j`` a function of columns ``< j`` only — the autoregressive
+property ``p(X_j | X_<j)`` that all of NeuroCard's inference relies on.
+
+Column 0's logits depend on no hidden unit (bias only), which is exactly
+the unconditional marginal ``p(X_0)``.
+
+Residual connections require the degree *vector* to be identical across
+hidden layers; we assign degrees once and reuse them for every block, so
+skip connections are automatically mask-consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+def hidden_degrees(n_columns: int, width: int) -> np.ndarray:
+    """Degree per hidden unit, cycling uniformly over ``0..n_columns - 2``."""
+    if n_columns < 1:
+        raise TrainingError("need at least one column")
+    if n_columns == 1:
+        return np.zeros(width, dtype=np.int64)
+    return np.arange(width, dtype=np.int64) % (n_columns - 1)
+
+
+def input_mask(input_labels: np.ndarray, degrees: np.ndarray) -> np.ndarray:
+    """``(H, D_in)`` mask: hidden unit ``h`` reads column ``j`` iff ``j <= deg_h``."""
+    return (input_labels[None, :] <= degrees[:, None]).astype(np.float64)
+
+
+def hidden_mask(degrees: np.ndarray) -> np.ndarray:
+    """``(H, H)`` mask: unit ``h2`` reads unit ``h1`` iff ``deg_1 <= deg_2``."""
+    return (degrees[None, :] <= degrees[:, None]).astype(np.float64)
+
+
+def output_mask(output_labels: np.ndarray, degrees: np.ndarray) -> np.ndarray:
+    """``(D_out, H)`` mask: column ``j``'s logits read hidden iff ``deg_h < j``."""
+    return (degrees[None, :] < output_labels[:, None]).astype(np.float64)

@@ -1,0 +1,60 @@
+"""Plain multi-layer perceptron (used by the MSCN baseline)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Linear, Parameter, ReLU
+
+
+class MLP:
+    """ReLU MLP with a linear head; MSE loss helper included."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        layer_sizes: Sequence[int],
+        name: str = "mlp",
+        dtype=np.float32,
+    ):
+        self.layers: List[object] = []
+        for i in range(len(layer_sizes) - 1):
+            self.layers.append(
+                Linear(
+                    rng,
+                    layer_sizes[i],
+                    layer_sizes[i + 1],
+                    name=f"{name}.l{i}",
+                    dtype=dtype,
+                )
+            )
+            if i < len(layer_sizes) - 2:
+                self.layers.append(ReLU())
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def mse_loss_and_backward(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean squared error against targets ``y``; backprops through."""
+        pred = self.forward(x).ravel()
+        diff = pred - y
+        loss = float((diff**2).mean())
+        grad = (2.0 * diff / len(y)).reshape(-1, 1).astype(pred.dtype)
+        self.backward(grad)
+        return loss
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            if isinstance(layer, Linear):
+                params.extend(layer.parameters())
+        return params

@@ -1,0 +1,85 @@
+"""Adam optimizer with optional warmup and gradient clipping."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+
+class Adam:
+    """Standard Adam (Kingma & Ba) over a parameter list.
+
+    ``warmup_steps`` linearly ramps the learning rate from 0, matching the
+    short warmup used when streaming sampled tuples (fresh batches every
+    step make early updates noisy). When ``total_steps`` is set, the rate
+    follows a cosine decay from ``lr`` to ``lr * min_lr_ratio`` after the
+    warmup, which markedly improves convergence of the streamed MLE loop.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 2e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        clip_norm: Optional[float] = 5.0,
+        warmup_steps: int = 20,
+        total_steps: Optional[int] = None,
+        min_lr_ratio: float = 0.05,
+    ):
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.clip_norm = clip_norm
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.min_lr_ratio = min_lr_ratio
+        self.t = 0
+        self._m = [np.zeros_like(p.value, dtype=np.float64) for p in self.params]
+        self._v = [np.zeros_like(p.value, dtype=np.float64) for p in self.params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def _clip(self) -> None:
+        if self.clip_norm is None:
+            return
+        total = 0.0
+        for p in self.params:
+            g = p.grad.ravel()
+            total += float(np.dot(g, g))
+        norm = np.sqrt(total)
+        if norm > self.clip_norm:
+            scale = self.clip_norm / (norm + 1e-12)
+            for p in self.params:
+                p.grad *= scale
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self._clip()
+        self.t += 1
+        lr = self.lr
+        if self.warmup_steps and self.t <= self.warmup_steps:
+            lr = self.lr * self.t / self.warmup_steps
+        elif self.total_steps and self.total_steps > self.warmup_steps:
+            progress = (self.t - self.warmup_steps) / (
+                self.total_steps - self.warmup_steps
+            )
+            progress = min(max(progress, 0.0), 1.0)
+            floor = self.lr * self.min_lr_ratio
+            lr = floor + 0.5 * (self.lr - floor) * (1 + np.cos(np.pi * progress))
+        correction1 = 1.0 - self.beta1**self.t
+        correction2 = 1.0 - self.beta2**self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            grad = p.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (grad * grad)
+            update = (m / correction1) / (np.sqrt(v / correction2) + self.eps)
+            p.value -= (lr * update).astype(p.value.dtype, copy=False)

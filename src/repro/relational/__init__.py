@@ -1,0 +1,26 @@
+"""Relational substrate: columnar tables, indexes, join schemas, queries.
+
+This subpackage implements the storage layer NeuroCard assumes: dictionary-
+encoded columnar base tables (`Column`, `Table`), hash indexes on join keys
+(`HashIndex`), tree-shaped join schemas with multi-key equi-join edges
+(`JoinSchema`, `JoinEdge`), and the query model (`Predicate`, `Query`).
+"""
+
+from repro.relational.column import NULL_CODE, Column
+from repro.relational.index import HashIndex
+from repro.relational.predicate import SUPPORTED_OPS, Predicate
+from repro.relational.query import Query
+from repro.relational.schema import JoinEdge, JoinSchema
+from repro.relational.table import Table
+
+__all__ = [
+    "NULL_CODE",
+    "Column",
+    "Table",
+    "HashIndex",
+    "JoinEdge",
+    "JoinSchema",
+    "Predicate",
+    "Query",
+    "SUPPORTED_OPS",
+]

@@ -1,0 +1,161 @@
+"""Dictionary-encoded, NULL-aware columns.
+
+A :class:`Column` stores values as integer *codes* into an order-preserving
+dictionary: code 0 is reserved for NULL, and codes ``1..K`` index the sorted
+array of distinct non-NULL values. Order preservation means a range filter on
+values maps to a *contiguous* interval of codes, which both the ground-truth
+executor and NeuroCard's factorized inference rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import DataError
+
+#: Reserved dictionary code for SQL NULL. Always present in every column's
+#: domain, even when the data contains no NULLs, so that model vocabularies
+#: are uniform across snapshots of the same schema.
+NULL_CODE = 0
+
+
+class Column:
+    """A single dictionary-encoded column.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within its table.
+    codes:
+        ``int64`` array of dictionary codes; ``NULL_CODE`` marks NULL.
+    dictionary:
+        Sorted array of distinct non-NULL values; ``codes[i] == k`` (k >= 1)
+        means row ``i`` holds ``dictionary[k - 1]``.
+    """
+
+    __slots__ = ("name", "codes", "dictionary")
+
+    def __init__(self, name: str, codes: np.ndarray, dictionary: np.ndarray):
+        if codes.ndim != 1:
+            raise DataError(f"column {name!r}: codes must be 1-D")
+        if codes.size and (codes.min() < 0 or codes.max() > len(dictionary)):
+            raise DataError(f"column {name!r}: codes out of dictionary range")
+        self.name = name
+        self.codes = np.ascontiguousarray(codes, dtype=np.int64)
+        self.dictionary = dictionary
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, name: str, values: Iterable) -> "Column":
+        """Build a column from raw Python/numpy values; ``None``/NaN are NULL."""
+        raw = list(values)
+        is_null = np.array(
+            [v is None or (isinstance(v, float) and np.isnan(v)) for v in raw],
+            dtype=bool,
+        )
+        non_null = [v for v, n in zip(raw, is_null) if not n]
+        if non_null:
+            dictionary = np.array(sorted(set(non_null)))
+        else:
+            dictionary = np.array([], dtype=np.int64)
+        codes = np.zeros(len(raw), dtype=np.int64)
+        if non_null:
+            lookup = {v: i + 1 for i, v in enumerate(dictionary.tolist())}
+            codes[~is_null] = np.array([lookup[v] for v in non_null], dtype=np.int64)
+        return cls(name, codes, dictionary)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of rows stored."""
+        return int(self.codes.size)
+
+    @property
+    def domain_size(self) -> int:
+        """Size of the code domain *including* the NULL code (= ``K + 1``)."""
+        return int(len(self.dictionary)) + 1
+
+    @property
+    def n_distinct(self) -> int:
+        """Number of distinct non-NULL values."""
+        return int(len(self.dictionary))
+
+    @property
+    def has_nulls(self) -> bool:
+        """Whether any stored row is NULL."""
+        return bool((self.codes == NULL_CODE).any())
+
+    def decode(self, codes: Sequence[int]) -> list:
+        """Map codes back to values (``None`` for NULL)."""
+        out = []
+        for code in codes:
+            out.append(None if code == NULL_CODE else self.dictionary[code - 1])
+        return out
+
+    # ------------------------------------------------------------------
+    # Value <-> code translation for filters
+    # ------------------------------------------------------------------
+    def code_for(self, value) -> Optional[int]:
+        """Exact-match code for ``value``, or ``None`` if absent from the data."""
+        idx = np.searchsorted(self.dictionary, value)
+        if idx < len(self.dictionary) and self.dictionary[idx] == value:
+            return int(idx) + 1
+        return None
+
+    def code_range(self, op: str, value) -> tuple[int, int]:
+        """Inclusive code interval ``[lo, hi]`` matching ``<op> value``.
+
+        Returns an empty interval (``lo > hi``) when nothing matches. NULLs
+        never match, so intervals never include ``NULL_CODE``.
+        """
+        n = len(self.dictionary)
+        if n == 0:
+            return (1, 0)
+        if op == "=":
+            code = self.code_for(value)
+            return (code, code) if code is not None else (1, 0)
+        if op == "<":
+            hi = int(np.searchsorted(self.dictionary, value, side="left"))
+            return (1, hi)
+        if op == "<=":
+            hi = int(np.searchsorted(self.dictionary, value, side="right"))
+            return (1, hi)
+        if op == ">":
+            lo = int(np.searchsorted(self.dictionary, value, side="right")) + 1
+            return (lo, n)
+        if op == ">=":
+            lo = int(np.searchsorted(self.dictionary, value, side="left")) + 1
+            return (lo, n)
+        raise DataError(f"code_range does not support operator {op!r}")
+
+    def codes_for_in(self, values: Iterable) -> np.ndarray:
+        """Codes for an ``IN`` list; values absent from the data are dropped."""
+        codes = [self.code_for(v) for v in values]
+        return np.array(sorted(c for c in codes if c is not None), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Row selection
+    # ------------------------------------------------------------------
+    def mask(self, op: str, value) -> np.ndarray:
+        """Boolean mask of rows satisfying ``<op> value`` (NULLs never match)."""
+        if op == "IN":
+            valid = self.codes_for_in(value)
+            return np.isin(self.codes, valid)
+        lo, hi = self.code_range(op, value)
+        return (self.codes >= lo) & (self.codes <= hi)
+
+    def take(self, row_ids: np.ndarray) -> "Column":
+        """New column restricted to ``row_ids`` (dictionary is shared)."""
+        return Column(self.name, self.codes[row_ids], self.dictionary)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Column({self.name!r}, rows={self.n_rows}, "
+            f"distinct={self.n_distinct}, nulls={self.has_nulls})"
+        )

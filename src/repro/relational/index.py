@@ -1,0 +1,84 @@
+"""Hash indexes on (possibly composite) join keys.
+
+The paper assumes each base table has an index per join key (§4, footnote 1);
+the sampler uses them for "indexed lookup" of join partners and for fanout
+bookkeeping. We index dictionary *codes*, which is sufficient because join
+partners are matched on raw values and both sides translate through their own
+dictionaries via :meth:`HashIndex.translate_key`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.relational.column import NULL_CODE
+from repro.relational.table import Table
+
+Key = Tuple[int, ...]
+
+
+class HashIndex:
+    """Maps a composite key (tuple of codes) to the row ids holding it.
+
+    NULL keys (any component NULL) are indexed under their code tuple as
+    well, but :meth:`lookup` of a key containing ``NULL_CODE`` returns no
+    rows, matching SQL equi-join semantics (NULL joins nothing).
+    """
+
+    def __init__(self, table: Table, key_columns: Sequence[str]):
+        self.table_name = table.name
+        self.key_columns = tuple(key_columns)
+        mat = table.key_codes(key_columns)
+        order = np.lexsort(mat.T[::-1])
+        sorted_mat = mat[order]
+        boundaries = np.ones(len(order), dtype=bool)
+        if len(order) > 1:
+            boundaries[1:] = (sorted_mat[1:] != sorted_mat[:-1]).any(axis=1)
+        starts = np.flatnonzero(boundaries)
+        ends = np.append(starts[1:], len(order))
+        self._rows: Dict[Key, np.ndarray] = {}
+        for s, e in zip(starts, ends):
+            key = tuple(int(v) for v in sorted_mat[s])
+            self._rows[key] = order[s:e]
+
+    def lookup(self, key: Key) -> np.ndarray:
+        """Row ids whose key equals ``key``; empty if any component is NULL."""
+        if NULL_CODE in key:
+            return np.empty(0, dtype=np.int64)
+        return self._rows.get(tuple(key), np.empty(0, dtype=np.int64))
+
+    def count(self, key: Key) -> int:
+        """Number of rows holding ``key`` (the *fanout* of that key value)."""
+        return int(self.lookup(key).size)
+
+    def keys(self):
+        """All distinct key tuples present (including NULL-containing ones)."""
+        return self._rows.keys()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @staticmethod
+    def translate_key(
+        src_table: Table,
+        src_columns: Sequence[str],
+        key: Key,
+        dst_table: Table,
+        dst_columns: Sequence[str],
+    ) -> Key:
+        """Translate a code tuple from one table's dictionaries to another's.
+
+        Returns a key containing ``-1`` components for values absent from the
+        destination dictionary (such keys match no destination rows).
+        """
+        out = []
+        for code, src_name, dst_name in zip(key, src_columns, dst_columns):
+            if code == NULL_CODE:
+                out.append(NULL_CODE)
+                continue
+            value = src_table.column(src_name).dictionary[code - 1]
+            dst_code = dst_table.column(dst_name).code_for(value)
+            out.append(-1 if dst_code is None else dst_code)
+        return tuple(out)

@@ -1,0 +1,59 @@
+"""Single-table filter predicates.
+
+The paper's workloads use conjunctions of single-table filters with operators
+``<, >, <=, >=, =`` and ``IN`` (§3.3). A :class:`Predicate` evaluates against
+a base table and also exposes its valid code region for model inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.relational.table import Table
+
+#: Operators supported by the estimator and the workloads.
+SUPPORTED_OPS = ("=", "<", "<=", ">", ">=", "IN")
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A filter ``table.column <op> value`` (value is a collection for IN)."""
+
+    table: str
+    column: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in SUPPORTED_OPS:
+            raise QueryError(f"unsupported operator {self.op!r}")
+        if self.op == "IN" and not isinstance(self.value, (list, tuple, set, frozenset)):
+            raise QueryError("IN predicates require a collection value")
+
+    def mask(self, table: Table) -> np.ndarray:
+        """Boolean row mask over ``table`` (NULLs never match)."""
+        if table.name != self.table:
+            raise QueryError(
+                f"predicate on {self.table!r} evaluated against table {table.name!r}"
+            )
+        return table.column(self.column).mask(self.op, self.value)
+
+    def code_region(self, table: Table) -> Tuple[str, Any]:
+        """The predicate translated to code space.
+
+        Returns ``("interval", (lo, hi))`` for comparison operators (inclusive
+        code interval, possibly empty) or ``("set", codes)`` for IN.
+        """
+        column = table.column(self.column)
+        if self.op == "IN":
+            return ("set", column.codes_for_in(self.value))
+        return ("interval", column.code_range(self.op, self.value))
+
+    def __str__(self) -> str:
+        if self.op == "IN":
+            return f"{self.table}.{self.column} IN ({len(self.value)} values)"
+        return f"{self.table}.{self.column} {self.op} {self.value!r}"

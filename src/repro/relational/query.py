@@ -1,0 +1,74 @@
+"""Join queries: a connected table subset plus conjunctive filters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.relational.predicate import Predicate
+from repro.relational.schema import JoinSchema
+
+
+@dataclass(frozen=True)
+class Query:
+    """An inner-join query over a subtree of the schema (§3.3).
+
+    ``tables`` must induce a connected subtree; ``predicates`` is the
+    conjunction of single-table filters. ``name`` is optional metadata used
+    by workload reports.
+    """
+
+    tables: Tuple[str, ...]
+    predicates: Tuple[Predicate, ...] = ()
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise QueryError("a query must reference at least one table")
+        if len(set(self.tables)) != len(self.tables):
+            raise QueryError("duplicate tables in query (self-joins unsupported)")
+        table_set = set(self.tables)
+        for pred in self.predicates:
+            if pred.table not in table_set:
+                raise QueryError(
+                    f"predicate {pred} references table outside the query join graph"
+                )
+
+    @staticmethod
+    def make(
+        tables: Sequence[str],
+        predicates: Sequence[Predicate] = (),
+        name: Optional[str] = None,
+    ) -> "Query":
+        """Convenience constructor accepting plain sequences."""
+        return Query(tuple(tables), tuple(predicates), name)
+
+    def validate(self, schema: JoinSchema) -> None:
+        """Raise :class:`QueryError` unless this query fits ``schema``."""
+        for table in self.tables:
+            if table not in schema.tables:
+                raise QueryError(f"query references unknown table {table!r}")
+        if not schema.is_connected_subset(self.tables):
+            raise QueryError(
+                f"query tables {self.tables} do not induce a connected subtree"
+            )
+        for pred in self.predicates:
+            schema.table(pred.table).column(pred.column)
+
+    @property
+    def n_joins(self) -> int:
+        """Number of join edges in the query graph."""
+        return len(self.tables) - 1
+
+    def predicates_by_table(self) -> Dict[str, List[Predicate]]:
+        """Group predicates per table (tables with no filters are absent)."""
+        grouped: Dict[str, List[Predicate]] = {}
+        for pred in self.predicates:
+            grouped.setdefault(pred.table, []).append(pred)
+        return grouped
+
+    def __str__(self) -> str:
+        preds = " AND ".join(str(p) for p in self.predicates) or "TRUE"
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}SELECT COUNT(*) FROM {' JOIN '.join(self.tables)} WHERE {preds}"

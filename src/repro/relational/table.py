@@ -1,0 +1,108 @@
+"""Columnar in-memory tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.relational.column import Column
+
+
+class Table:
+    """An immutable, columnar, dictionary-encoded table.
+
+    Columns are :class:`~repro.relational.column.Column` objects sharing one
+    row count. Tables are the unit the join sampler, the executor, and all
+    estimators operate on.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not columns:
+            raise DataError(f"table {name!r}: needs at least one column")
+        n_rows = columns[0].n_rows
+        for col in columns:
+            if col.n_rows != n_rows:
+                raise DataError(
+                    f"table {name!r}: column {col.name!r} has {col.n_rows} rows, "
+                    f"expected {n_rows}"
+                )
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise DataError(f"table {name!r}: duplicate column names")
+        self.name = name
+        self.columns: Dict[str, Column] = {c.name: c for c in columns}
+        self.n_rows = n_rows
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping[str, Iterable]) -> "Table":
+        """Build a table from ``{column_name: values}`` (``None`` = NULL)."""
+        return cls(name, [Column.from_values(k, v) for k, v in data.items()])
+
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> List[str]:
+        """Column names in definition order."""
+        return list(self.columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise DataError(f"table {self.name!r} has no column {name!r}") from None
+
+    def codes(self, name: str) -> np.ndarray:
+        """Code array of one column."""
+        return self.column(name).codes
+
+    def key_codes(self, names: Sequence[str]) -> np.ndarray:
+        """``(n_rows, len(names))`` matrix of codes for a composite key."""
+        return np.stack([self.codes(n) for n in names], axis=1)
+
+    def take(self, row_ids: np.ndarray) -> "Table":
+        """New table restricted to the given rows (dictionaries shared)."""
+        return Table(self.name, [c.take(row_ids) for c in self.columns.values()])
+
+    def concat(self, other: "Table") -> "Table":
+        """Append ``other``'s rows; dictionaries must match (same snapshot family).
+
+        Used by the update pipeline (partition appends). Re-encodes ``other``
+        against this table's dictionaries and extends dictionaries for new
+        values, keeping code order consistent only when new values sort after
+        existing ones (the partition generator guarantees this for keys).
+        """
+        cols = []
+        for name, col in self.columns.items():
+            ocol = other.column(name)
+            if np.array_equal(col.dictionary, ocol.dictionary):
+                merged = col.dictionary
+                ocodes = ocol.codes
+            else:
+                merged = np.array(
+                    sorted(set(col.dictionary.tolist()) | set(ocol.dictionary.tolist()))
+                )
+                lookup = {v: i + 1 for i, v in enumerate(merged.tolist())}
+                remap_self = np.array(
+                    [0] + [lookup[v] for v in col.dictionary.tolist()], dtype=np.int64
+                )
+                remap_other = np.array(
+                    [0] + [lookup[v] for v in ocol.dictionary.tolist()], dtype=np.int64
+                )
+                cols.append(
+                    Column(
+                        name,
+                        np.concatenate(
+                            [remap_self[col.codes], remap_other[ocol.codes]]
+                        ),
+                        merged,
+                    )
+                )
+                continue
+            cols.append(Column(name, np.concatenate([col.codes, ocodes]), merged))
+        return Table(self.name, cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={self.n_rows}, cols={self.column_names})"

@@ -1,0 +1,28 @@
+"""Workloads: synthetic IMDB schema + JOB-light / JOB-light-ranges / JOB-M.
+
+The real IMDB snapshot is not available offline, so :mod:`repro.workloads.imdb`
+generates an IMDB-*like* database with the same 16-table join structure,
+zipfian key skew, NULL-able foreign keys, and deliberately injected
+inter-table correlations (the property the paper's evaluation stresses).
+Query generators follow the paper's §7.1 recipes, including drawing filter
+literals from inner-join samples to guarantee non-empty results.
+"""
+
+from repro.workloads.imdb import ImdbScale, job_light_schema, job_m_schema
+from repro.workloads.generators import (
+    job_light_queries,
+    job_light_ranges_queries,
+    job_m_queries,
+)
+from repro.workloads.stats import WorkloadStats, workload_stats
+
+__all__ = [
+    "ImdbScale",
+    "job_light_schema",
+    "job_m_schema",
+    "job_light_queries",
+    "job_light_ranges_queries",
+    "job_m_queries",
+    "WorkloadStats",
+    "workload_stats",
+]

@@ -1,0 +1,377 @@
+"""Synthetic IMDB-like database generator.
+
+Substitutes the paper's real IMDB snapshot (see DESIGN.md, Substitutions).
+The generator preserves the properties cardinality estimators are sensitive
+to:
+
+* the JOB join topology — ``title`` fact table, five movie-side tables, and
+  (for JOB-M) nine dimension tables, 16 tables total;
+* zipf-skewed join-key fanouts (popular persons/keywords/companies);
+* NULL-able foreign keys and NULL content values;
+* strong inter-column and *inter-table* correlations: production year drives
+  the kind of title, the volume and content of movie_info rows, ratings in
+  movie_info_idx, and aka_title years; company country drives company types.
+
+All columns are integers or zero-padded strings so that lexicographic
+dictionary order equals semantic order (range filters stay meaningful).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.relational.schema import JoinEdge, JoinSchema
+from repro.relational.table import Table
+
+#: The 6 JOB-light tables.
+JOB_LIGHT_TABLES = (
+    "title",
+    "cast_info",
+    "movie_companies",
+    "movie_info",
+    "movie_keyword",
+    "movie_info_idx",
+)
+
+
+@dataclass
+class ImdbScale:
+    """Row-count knobs for the generator (defaults: bench-friendly sizes)."""
+
+    n_title: int = 2000
+    cast_per_title: float = 3.0
+    mc_per_title: float = 1.3
+    mi_per_title: float = 2.5
+    mii_per_title: float = 1.2
+    mk_per_title: float = 2.0
+    aka_per_title: float = 0.3
+    cc_per_title: float = 0.4
+    n_person: int = 1200
+    n_company: int = 350
+    n_keyword: int = 500
+    n_char: int = 700
+    #: distinct phonetic codes in title (high-cardinality knob for JOB-M).
+    n_phonetic: int = 600
+    seed: int = 0
+
+
+def _zipf_probs(n: int, a: float = 1.3) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    probs = ranks**-a
+    return probs / probs.sum()
+
+
+def _zipf_choice(rng: np.random.Generator, n: int, size: int, a: float = 1.3) -> np.ndarray:
+    return rng.choice(n, size=size, p=_zipf_probs(n, a))
+
+
+def _with_nulls(values: np.ndarray, null_frac: float, rng: np.random.Generator) -> List:
+    mask = rng.random(len(values)) < null_frac
+    return [None if m else int(v) for v, m in zip(values, mask)]
+
+
+def _pcode(idx: int) -> str:
+    return f"P{idx:05d}"
+
+
+class _ImdbBuilder:
+    """Stateful builder producing all 16 tables with shared correlations."""
+
+    def __init__(self, scale: ImdbScale):
+        self.scale = scale
+        self.rng = np.random.default_rng(scale.seed)
+        self.tables: Dict[str, Table] = {}
+        self._build_title()
+        self._build_cast_side()
+        self._build_company_side()
+        self._build_info_side()
+        self._build_keyword_side()
+        self._build_title_satellites()
+
+    # ------------------------------------------------------------------
+    def _build_title(self) -> None:
+        rng, n = self.rng, self.scale.n_title
+        # Years skew recent: 1930..2019, more mass near 2019.
+        raw = rng.beta(3.0, 1.3, n)
+        years = (1930 + raw * 89).astype(np.int64)
+        # Kind correlated with year: older titles skew to kinds 3/4,
+        # recent ones to 1/2/7 (7 = tv episode).
+        recent = years >= 1990
+        kinds = np.where(
+            recent,
+            rng.choice([1, 2, 7], n, p=[0.45, 0.25, 0.3]),
+            rng.choice([1, 3, 4], n, p=[0.3, 0.4, 0.3]),
+        )
+        episodes = np.where(
+            kinds == 7, rng.integers(1, 40, n), -1
+        )
+        seasons = np.where(kinds == 7, rng.integers(1, 12, n), -1)
+        phonetic = _zipf_choice(rng, self.scale.n_phonetic, n, a=1.1)
+        self.title_years = years
+        self.tables["title"] = Table.from_dict(
+            "title",
+            {
+                "id": list(range(n)),
+                "kind_id": [int(k) for k in kinds],
+                "production_year": _with_nulls(years, 0.04, rng),
+                "episode_nr": [None if e < 0 else int(e) for e in episodes],
+                "season_nr": [None if s < 0 else int(s) for s in seasons],
+                "phonetic_code": [_pcode(int(p)) for p in phonetic],
+            },
+        )
+
+    def _child_movie_ids(self, per_title: float) -> np.ndarray:
+        """Movie ids fanned out per title, more children for recent titles."""
+        rng, n = self.rng, self.scale.n_title
+        year_factor = 0.4 + 1.6 * (self.title_years - 1930) / 90.0
+        counts = rng.poisson(per_title * year_factor)
+        return np.repeat(np.arange(n), counts)
+
+    def _build_cast_side(self) -> None:
+        rng, scale = self.rng, self.scale
+        movie_ids = self._child_movie_ids(scale.cast_per_title)
+        m = len(movie_ids)
+        persons = _zipf_choice(rng, scale.n_person, m, a=1.4)
+        # Person gender (with NULLs); roles correlate with gender.
+        genders = rng.choice(3, scale.n_person, p=[0.55, 0.35, 0.10])  # m/f/NULL
+        person_gender = genders[persons]
+        roles = np.where(
+            person_gender == 0,
+            rng.choice([1, 3, 5, 8], m),
+            rng.choice([2, 4, 6, 9], m),
+        )
+        chars = _zipf_choice(rng, scale.n_char, m, a=1.2)
+        self.tables["cast_info"] = Table.from_dict(
+            "cast_info",
+            {
+                "movie_id": _with_nulls(movie_ids, 0.01, rng),
+                "person_id": [int(p) for p in persons],
+                "role_id": [int(r) for r in roles],
+                "person_role_id": _with_nulls(chars, 0.3, rng),
+                "nr_order": _with_nulls(rng.integers(1, 11, m), 0.2, rng),
+            },
+        )
+        self.tables["name"] = Table.from_dict(
+            "name",
+            {
+                "id": list(range(scale.n_person)),
+                "gender": [
+                    {0: "m", 1: "f", 2: None}[int(g)] for g in genders
+                ],
+                "name_pcode": [_pcode(int(v)) for v in rng.integers(0, scale.n_person // 2 + 1, scale.n_person)],
+            },
+        )
+        self.tables["role_type"] = Table.from_dict(
+            "role_type",
+            {
+                "id": list(range(1, 13)),
+                "role": [f"role_{i:02d}" for i in range(1, 13)],
+            },
+        )
+        self.tables["char_name"] = Table.from_dict(
+            "char_name",
+            {
+                "id": list(range(scale.n_char)),
+                "name_pcode": [_pcode(int(v)) for v in rng.integers(0, scale.n_char // 2 + 1, scale.n_char)],
+            },
+        )
+
+    def _build_company_side(self) -> None:
+        rng, scale = self.rng, self.scale
+        movie_ids = self._child_movie_ids(scale.mc_per_title)
+        m = len(movie_ids)
+        companies = _zipf_choice(rng, scale.n_company, m, a=1.3)
+        countries = rng.choice(8, scale.n_company, p=[0.4, 0.2, 0.12, 0.1, 0.08, 0.05, 0.03, 0.02])
+        # Company type correlates with the company's country.
+        company_country = countries[companies]
+        ctype = np.where(
+            company_country == 0,
+            rng.choice([1, 2], m, p=[0.8, 0.2]),
+            rng.choice([2, 3, 4], m, p=[0.4, 0.4, 0.2]),
+        )
+        self.tables["movie_companies"] = Table.from_dict(
+            "movie_companies",
+            {
+                "movie_id": _with_nulls(movie_ids, 0.01, rng),
+                "company_id": [int(c) for c in companies],
+                "company_type_id": [int(t) for t in ctype],
+            },
+        )
+        self.tables["company_name"] = Table.from_dict(
+            "company_name",
+            {
+                "id": list(range(scale.n_company)),
+                "country_code": [f"[{chr(97 + int(c))}]" for c in countries],
+                "name_pcode": [_pcode(int(v)) for v in rng.integers(0, scale.n_company, scale.n_company)],
+            },
+        )
+        self.tables["company_type"] = Table.from_dict(
+            "company_type",
+            {
+                "id": [1, 2, 3, 4],
+                "kind": ["production", "distribution", "effects", "misc"],
+            },
+        )
+
+    def _build_info_side(self) -> None:
+        rng, scale = self.rng, self.scale
+        # movie_info: info value correlated with (type, production year).
+        movie_ids = self._child_movie_ids(scale.mi_per_title)
+        m = len(movie_ids)
+        info_types = _zipf_choice(rng, 40, m, a=1.1) + 1
+        year_bucket = (self.title_years[movie_ids] - 1930) // 10
+        info_val = np.clip(
+            year_bucket * 10 + rng.integers(0, 15, m) + info_types, 0, 120
+        )
+        self.tables["movie_info"] = Table.from_dict(
+            "movie_info",
+            {
+                "movie_id": _with_nulls(movie_ids, 0.01, rng),
+                "info_type_id": [int(t) for t in info_types],
+                "info": [f"v{int(v):04d}" for v in info_val],
+            },
+        )
+        self.tables["info_type"] = Table.from_dict(
+            "info_type",
+            {
+                "id": list(range(1, 41)),
+                "info": [f"type_{i:02d}" for i in range(1, 41)],
+            },
+        )
+        # movie_info_idx: numeric rating, higher for recent titles.
+        movie_ids2 = self._child_movie_ids(scale.mii_per_title)
+        m2 = len(movie_ids2)
+        types2 = rng.integers(1, 11, m2)
+        rating = np.clip(
+            ((self.title_years[movie_ids2] - 1930) * 0.7)
+            + rng.normal(0, 7, m2)
+            + 20,
+            0,
+            100,
+        ).astype(np.int64)
+        self.tables["movie_info_idx"] = Table.from_dict(
+            "movie_info_idx",
+            {
+                "movie_id": _with_nulls(movie_ids2, 0.01, rng),
+                "info_type_id": [int(t) for t in types2],
+                "info": [int(r) for r in rating],
+            },
+        )
+        self.tables["info_type_idx"] = Table.from_dict(
+            "info_type_idx",
+            {
+                "id": list(range(1, 11)),
+                "info": [f"idxtype_{i:02d}" for i in range(1, 11)],
+            },
+        )
+
+    def _build_keyword_side(self) -> None:
+        rng, scale = self.rng, self.scale
+        movie_ids = self._child_movie_ids(scale.mk_per_title)
+        m = len(movie_ids)
+        keywords = _zipf_choice(rng, scale.n_keyword, m, a=1.5)
+        self.tables["movie_keyword"] = Table.from_dict(
+            "movie_keyword",
+            {
+                "movie_id": _with_nulls(movie_ids, 0.01, rng),
+                "keyword_id": [int(k) for k in keywords],
+            },
+        )
+        self.tables["keyword"] = Table.from_dict(
+            "keyword",
+            {
+                "id": list(range(scale.n_keyword)),
+                "keyword_pcode": [_pcode(int(v)) for v in rng.integers(0, scale.n_keyword // 2 + 1, scale.n_keyword)],
+            },
+        )
+
+    def _build_title_satellites(self) -> None:
+        rng, scale = self.rng, self.scale
+        movie_ids = self._child_movie_ids(scale.aka_per_title)
+        m = len(movie_ids)
+        # aka years track the parent title's year (cross-table correlation).
+        aka_years = self.title_years[movie_ids] + rng.integers(0, 3, m)
+        self.tables["aka_title"] = Table.from_dict(
+            "aka_title",
+            {
+                "movie_id": [int(v) for v in movie_ids],
+                "kind_id": [int(v) for v in rng.integers(1, 8, m)],
+                "production_year": _with_nulls(aka_years, 0.05, rng),
+            },
+        )
+        movie_ids2 = self._child_movie_ids(scale.cc_per_title)
+        m2 = len(movie_ids2)
+        self.tables["complete_cast"] = Table.from_dict(
+            "complete_cast",
+            {
+                "movie_id": [int(v) for v in movie_ids2],
+                "subject_id": [int(v) for v in rng.integers(1, 5, m2)],
+                "status_id": [int(v) for v in rng.integers(1, 5, m2)],
+            },
+        )
+
+
+def _movie_edge(child: str) -> JoinEdge:
+    return JoinEdge(parent="title", child=child, keys=(("id", "movie_id"),))
+
+
+def job_light_schema(scale: Optional[ImdbScale] = None) -> JoinSchema:
+    """The 6-table JOB-light star schema (every table joins title on id)."""
+    scale = scale if scale is not None else ImdbScale()
+    builder = _ImdbBuilder(scale)
+    tables = {name: builder.tables[name] for name in JOB_LIGHT_TABLES}
+    edges = [_movie_edge(name) for name in JOB_LIGHT_TABLES if name != "title"]
+    return JoinSchema(tables=tables, edges=edges, root="title")
+
+
+def job_m_schema(scale: Optional[ImdbScale] = None) -> JoinSchema:
+    """The 16-table JOB-M schema with multi-key joins through dimensions."""
+    scale = scale if scale is not None else ImdbScale()
+    builder = _ImdbBuilder(scale)
+    tables = dict(builder.tables)
+    edges = [
+        _movie_edge("cast_info"),
+        _movie_edge("movie_companies"),
+        _movie_edge("movie_info"),
+        _movie_edge("movie_info_idx"),
+        _movie_edge("movie_keyword"),
+        _movie_edge("aka_title"),
+        _movie_edge("complete_cast"),
+        JoinEdge("cast_info", "name", (("person_id", "id"),)),
+        JoinEdge("cast_info", "role_type", (("role_id", "id"),)),
+        JoinEdge("cast_info", "char_name", (("person_role_id", "id"),)),
+        JoinEdge("movie_companies", "company_name", (("company_id", "id"),)),
+        JoinEdge("movie_companies", "company_type", (("company_type_id", "id"),)),
+        JoinEdge("movie_info", "info_type", (("info_type_id", "id"),)),
+        JoinEdge("movie_info_idx", "info_type_idx", (("info_type_id", "id"),)),
+        JoinEdge("movie_keyword", "keyword", (("keyword_id", "id"),)),
+    ]
+    return JoinSchema(tables=tables, edges=edges, root="title")
+
+
+#: Content columns excluded from models by default: surrogate keys that no
+#: workload filters on (keeps estimator sizes honest, as in the paper).
+DEFAULT_EXCLUDED_COLUMNS = (
+    "title.id",
+    "cast_info.movie_id",
+    "cast_info.person_id",
+    "cast_info.person_role_id",
+    "movie_companies.movie_id",
+    "movie_companies.company_id",
+    "movie_info.movie_id",
+    "movie_info_idx.movie_id",
+    "movie_keyword.movie_id",
+    "aka_title.movie_id",
+    "complete_cast.movie_id",
+    "name.id",
+    "char_name.id",
+    "keyword.id",
+    "company_name.id",
+    "company_type.id",
+    "info_type.id",
+    "info_type_idx.id",
+    "role_type.id",
+)

@@ -1,0 +1,46 @@
+"""Workload statistics (paper Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.joins.counts import JoinCounts
+from repro.relational.schema import JoinSchema
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Table 1's columns: tables, full-join rows, columns, max domain."""
+
+    name: str
+    n_tables: int
+    full_join_rows: float
+    n_columns: int
+    max_domain: int
+
+    def row(self) -> str:
+        return (
+            f"{self.name:<18} {self.n_tables:>6} {self.full_join_rows:>14.3g} "
+            f"{self.n_columns:>5} {self.max_domain:>8}"
+        )
+
+
+def workload_stats(
+    name: str, schema: JoinSchema, counts: Optional[JoinCounts] = None
+) -> WorkloadStats:
+    """Compute the Table 1 row for a schema snapshot."""
+    counts = counts if counts is not None else JoinCounts(schema)
+    n_columns = sum(len(t.column_names) for t in schema.tables.values())
+    max_domain = max(
+        col.n_distinct
+        for t in schema.tables.values()
+        for col in t.columns.values()
+    )
+    return WorkloadStats(
+        name=name,
+        n_tables=len(schema.tables),
+        full_join_rows=counts.full_join_size,
+        n_columns=n_columns,
+        max_domain=max_domain,
+    )

@@ -1,0 +1,135 @@
+"""Postgres-style, IBJS, and join-sampling baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ibjs import BiasedJoinSampler, IBJSEstimator
+from repro.baselines.postgres import PostgresEstimator
+from repro.baselines.sampling import JoinSampleEstimator
+from repro.joins.counts import JoinCounts
+from repro.joins.executor import query_cardinality
+from repro.joins.sampler import FullJoinSampler
+from repro.relational.predicate import Predicate
+from repro.relational.query import Query
+from repro.relational.schema import JoinEdge, JoinSchema
+from repro.relational.table import Table
+from tests.helpers import paper_figure4_schema
+
+
+def uniform_star(n_root=200, fan=2, seed=0):
+    rng = np.random.default_rng(seed)
+    root = Table.from_dict(
+        "R", {"id": list(range(n_root)), "a": [int(v) for v in rng.integers(0, 10, n_root)]}
+    )
+    rids = np.repeat(np.arange(n_root), fan)
+    child = Table.from_dict(
+        "C", {"rid": [int(v) for v in rids], "b": [int(v) for v in rng.integers(0, 10, len(rids))]}
+    )
+    return JoinSchema(
+        tables={"R": root, "C": child},
+        edges=[JoinEdge("R", "C", (("id", "rid"),))],
+        root="R",
+    )
+
+
+class TestPostgres:
+    def test_exact_on_uniform_independent_data(self):
+        """AVI + uniform-join heuristics are right when assumptions hold."""
+        schema = uniform_star()
+        pg = PostgresEstimator(schema)
+        query = Query.make(["R", "C"], [Predicate("R", "a", "=", 3)])
+        truth = query_cardinality(schema, query)
+        assert pg.estimate(query) == pytest.approx(truth, rel=0.35)
+
+    def test_range_selectivity(self):
+        schema = uniform_star()
+        pg = PostgresEstimator(schema)
+        query = Query.make(["R"], [Predicate("R", "a", "<=", 4)])
+        truth = query_cardinality(schema, query)
+        assert pg.estimate(query) == pytest.approx(truth, rel=0.3)
+
+    def test_unknown_equality_value(self):
+        schema = uniform_star()
+        pg = PostgresEstimator(schema)
+        query = Query.make(["R"], [Predicate("R", "a", "=", 999)])
+        assert pg.estimate(query) == 0.0
+
+    def test_size_accounting(self):
+        pg = PostgresEstimator(uniform_star())
+        assert 0 < pg.size_bytes < 200_000  # "tiny" like Postgres stats
+
+    def test_in_predicate(self):
+        schema = uniform_star()
+        pg = PostgresEstimator(schema)
+        query = Query.make(["R"], [Predicate("R", "a", "IN", (1, 2))])
+        truth = query_cardinality(schema, query)
+        assert pg.estimate(query) == pytest.approx(truth, rel=0.4)
+
+
+class TestIBJS:
+    def test_near_exact_with_full_sampling(self):
+        schema = uniform_star(n_root=150)
+        counts = JoinCounts(schema)
+        ibjs = IBJSEstimator(schema, counts, max_samples=10_000, seed=0)
+        query = Query.make(["R", "C"], [Predicate("C", "b", "=", 5)])
+        truth = query_cardinality(schema, query, counts=counts)
+        assert ibjs.estimate(query) == pytest.approx(truth, rel=0.05)
+
+    def test_small_samples_can_zero_out(self):
+        """Low-selectivity queries get empty intermediate samples (the paper's
+        explanation of IBJS tail failures)."""
+        schema = uniform_star(n_root=500, seed=1)
+        counts = JoinCounts(schema)
+        ibjs = IBJSEstimator(schema, counts, max_samples=10, seed=2)
+        rare = Query.make(
+            ["R", "C"], [Predicate("R", "a", "=", 3), Predicate("C", "b", "=", 7)]
+        )
+        estimates = {ibjs.estimate(rare) for _ in range(20)}
+        assert 0.0 in estimates
+
+    def test_respects_filters_on_root(self):
+        schema = uniform_star()
+        counts = JoinCounts(schema)
+        ibjs = IBJSEstimator(schema, counts, max_samples=10_000)
+        empty = Query.make(["R"], [Predicate("R", "a", "=", 999)])
+        assert ibjs.estimate(empty) == 0.0
+
+
+class TestBiasedSampler:
+    def test_interface_matches_full_join_sampler(self):
+        schema = paper_figure4_schema()
+        counts = JoinCounts(schema)
+        biased = BiasedJoinSampler(schema, counts)
+        batch = biased.sample_batch(128, np.random.default_rng(0))
+        unbiased = FullJoinSampler(schema, counts)
+        assert set(batch) == set(unbiased.sample_batch(8, np.random.default_rng(0)))
+
+    def test_bias_underweights_high_fanout(self):
+        """A.x=2 leads 3 of 5 full-join rows, but the biased walk gives ~1/2."""
+        schema = paper_figure4_schema()
+        biased = BiasedJoinSampler(schema)
+        rows = biased.sample_row_ids(20_000, np.random.default_rng(1))
+        a = schema.table("A")
+        x2_row = list(a.codes("x")).index(a.column("x").code_for(2))
+        frac = (rows["A"] == x2_row).mean()
+        assert frac == pytest.approx(0.5, abs=0.02)  # biased
+        assert abs(frac - 3.0 / 5.0) > 0.05  # far from the true 0.6
+
+
+class TestJoinSampleEstimator:
+    def test_unbiased_estimates(self):
+        schema = uniform_star(n_root=100)
+        counts = JoinCounts(schema)
+        est = JoinSampleEstimator(schema, counts, n_samples=20_000, seed=0)
+        query = Query.make(["R", "C"], [Predicate("C", "b", "<=", 4)])
+        truth = query_cardinality(schema, query, counts=counts)
+        assert est.estimate(query) == pytest.approx(truth, rel=0.05)
+
+    def test_zero_hits_on_rare_queries(self):
+        schema = uniform_star(n_root=400, seed=3)
+        counts = JoinCounts(schema)
+        est = JoinSampleEstimator(schema, counts, n_samples=20, seed=4)
+        rare = Query.make(
+            ["R", "C"], [Predicate("R", "a", "=", 1), Predicate("C", "b", "=", 1)]
+        )
+        assert est.estimate(rare) in (0.0, pytest.approx(est._graph_size(("C", "R")) / 20, rel=1.0))

@@ -1,0 +1,177 @@
+"""SPN/DeepDB, MSCN, and per-table AR baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mscn import MSCNEstimator
+from repro.baselines.per_table import PerTableAREstimator
+from repro.baselines.spn import SPN, DeepDBEstimator
+from repro.core.config import NeuroCardConfig
+from repro.core.regions import Region
+from repro.errors import EstimationError, QueryError, TrainingError
+from repro.eval.harness import true_cardinalities
+from repro.eval.metrics import q_error
+from repro.joins.counts import JoinCounts
+from repro.joins.executor import query_cardinality
+from repro.relational.predicate import Predicate
+from repro.relational.query import Query
+from repro.relational.schema import JoinEdge, JoinSchema
+from repro.relational.table import Table
+from repro.workloads import job_light_ranges_queries, job_light_schema
+from repro.workloads.imdb import DEFAULT_EXCLUDED_COLUMNS, ImdbScale
+
+
+class TestSPN:
+    def test_independent_columns_get_product_split(self):
+        rng = np.random.default_rng(0)
+        data = np.stack([rng.integers(0, 8, 4000), rng.integers(0, 8, 4000)], axis=1)
+        spn = SPN(data, [8, 8], ["a", "b"], min_rows=200)
+        pa = spn.prob({"a": Region.interval(0, 3)})
+        pb = spn.prob({"b": Region.interval(0, 3)})
+        pab = spn.prob({"a": Region.interval(0, 3), "b": Region.interval(0, 3)})
+        assert pab == pytest.approx(pa * pb, rel=0.1)
+        assert pa == pytest.approx(0.5, abs=0.05)
+
+    def test_correlated_columns_learned(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 8, 6000)
+        data = np.stack([x, (x + rng.integers(0, 2, 6000)) % 8], axis=1)
+        spn = SPN(data, [8, 8], ["a", "b"], min_rows=150, corr_threshold=0.3)
+        # P(a=0, b in {0,1}) ~ 1/8; independence would give 1/8 * 1/4.
+        p = spn.prob({"a": Region.interval(0, 0), "b": Region.interval(0, 1)})
+        assert p == pytest.approx(1 / 8, rel=0.35)
+
+    def test_wildcard_probability_is_one(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 5, (1000, 2))
+        spn = SPN(data, [5, 5], ["a", "b"])
+        assert spn.prob({}) == pytest.approx(1.0, rel=1e-6)
+
+    def test_unknown_column_raises(self):
+        spn = SPN(np.zeros((10, 1), dtype=np.int64), [3], ["a"])
+        with pytest.raises(QueryError):
+            spn.prob({"zzz": Region.interval(0, 1)})
+
+    def test_shape_validation(self):
+        with pytest.raises(EstimationError):
+            SPN(np.zeros((5, 2), dtype=np.int64), [3], ["a"])
+
+
+@pytest.fixture(scope="module")
+def light():
+    schema = job_light_schema(ImdbScale(n_title=500))
+    counts = JoinCounts(schema)
+    return schema, counts
+
+
+class TestDeepDB:
+    def test_star_queries(self, light):
+        schema, counts = light
+        deepdb = DeepDBEstimator(
+            schema, counts, n_samples=15_000,
+            exclude_columns=DEFAULT_EXCLUDED_COLUMNS, seed=0,
+        )
+        queries = job_light_ranges_queries(schema, n=30, counts=counts)
+        truths = true_cardinalities(schema, queries, counts)
+        errors = [q_error(deepdb.estimate(q), t) for q, t in zip(queries, truths)]
+        assert np.median(errors) < 4.0
+
+    def test_single_root_query(self, light):
+        schema, counts = light
+        deepdb = DeepDBEstimator(
+            schema, counts, n_samples=8_000,
+            exclude_columns=DEFAULT_EXCLUDED_COLUMNS,
+        )
+        query = Query.make(["title"], [Predicate("title", "kind_id", "=", 1)])
+        truth = query_cardinality(schema, query, counts=counts)
+        assert q_error(deepdb.estimate(query), truth) < 2.0
+
+    def test_rejects_nested_schema(self):
+        a = Table.from_dict("A", {"x": [1, 2]})
+        b = Table.from_dict("B", {"x": [1, 2], "y": [1, 2]})
+        c = Table.from_dict("C", {"y": [1, 2]})
+        nested = JoinSchema(
+            tables={"A": a, "B": b, "C": c},
+            edges=[JoinEdge("A", "B", (("x", "x"),)), JoinEdge("B", "C", (("y", "y"),))],
+            root="A",
+        )
+        with pytest.raises(EstimationError):
+            DeepDBEstimator(nested)
+
+    def test_size_grows_with_large_config(self, light):
+        schema, counts = light
+        base = DeepDBEstimator(
+            schema, counts, n_samples=4_000, exclude_columns=DEFAULT_EXCLUDED_COLUMNS
+        )
+        large = DeepDBEstimator(
+            schema, counts, n_samples=4_000, large=True,
+            exclude_columns=DEFAULT_EXCLUDED_COLUMNS,
+        )
+        assert large.size_bytes > base.size_bytes
+        assert large.name == "DeepDB-large"
+
+
+class TestMSCN:
+    def test_learns_training_distribution(self, light):
+        schema, counts = light
+        train = job_light_ranges_queries(schema, n=250, seed=50, counts=counts)
+        cards = true_cardinalities(schema, train, counts)
+        mscn = MSCNEstimator(schema, train, cards, epochs=40, seed=0)
+        test = job_light_ranges_queries(schema, n=40, seed=51, counts=counts)
+        truths = true_cardinalities(schema, test, counts)
+        errors = [q_error(mscn.estimate(q), t) for q, t in zip(test, truths)]
+        assert np.median(errors) < 6.0
+
+    def test_label_mismatch_rejected(self, light):
+        schema, _ = light
+        with pytest.raises(TrainingError):
+            MSCNEstimator(schema, [], [1.0])
+
+    def test_featurization_is_fixed_length(self, light):
+        schema, counts = light
+        train = job_light_ranges_queries(schema, n=40, seed=60, counts=counts)
+        cards = true_cardinalities(schema, train, counts)
+        mscn = MSCNEstimator(schema, train, cards, epochs=2)
+        dims = {mscn.featurize(q).shape for q in train}
+        assert len(dims) == 1
+
+
+class TestPerTableAR:
+    def test_fails_on_correlated_joins(self, light):
+        """Independence across tables must hurt on correlated filters —
+        that is the entire point of ablation D."""
+        schema, counts = light
+        config = NeuroCardConfig(
+            d_emb=8, d_ff=32, n_blocks=1, train_tuples=30_000,
+            learning_rate=5e-3, progressive_samples=200,
+            exclude_columns=DEFAULT_EXCLUDED_COLUMNS,
+        )
+        per_table = PerTableAREstimator(schema, config, counts)
+        # Correlated pair: recent years <-> high ratings.
+        corr = Query.make(
+            ["title", "movie_info_idx"],
+            [
+                Predicate("title", "production_year", ">=", 2005),
+                Predicate("movie_info_idx", "info", ">=", 60),
+            ],
+        )
+        truth = query_cardinality(schema, corr, counts=counts)
+        single_year = Query.make(["title"], [Predicate("title", "production_year", ">=", 2005)])
+        t_single = query_cardinality(schema, single_year, counts=counts)
+        # Single-table estimates stay good...
+        assert q_error(per_table.estimate(single_year), t_single) < 3.0
+        # ...while the correlated join estimate is measurably worse than the
+        # single-table one (independence bites).
+        err_join = q_error(per_table.estimate(corr), truth)
+        assert err_join > 1.2
+
+    def test_size_sums_models(self, light):
+        schema, counts = light
+        config = NeuroCardConfig(
+            d_emb=4, d_ff=16, n_blocks=1, train_tuples=6_000,
+            exclude_columns=DEFAULT_EXCLUDED_COLUMNS,
+        )
+        per_table = PerTableAREstimator(schema, config, counts)
+        assert per_table.size_bytes == sum(
+            m.size_bytes for m in per_table.models.values()
+        )

@@ -1,0 +1,89 @@
+"""Layout / encoder tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import FanoutEncoder, Layout
+from repro.joins.counts import JoinCounts
+from repro.joins.sampler import FullJoinSampler, joined_column_specs
+from tests.helpers import paper_figure4_schema
+
+
+def make_layout(bits=None):
+    schema = paper_figure4_schema()
+    counts = JoinCounts(schema)
+    specs = joined_column_specs(schema, counts)
+    return schema, counts, specs, Layout(schema, counts, specs, bits)
+
+
+class TestFanoutEncoder:
+    def test_vocab_includes_one(self):
+        enc = FanoutEncoder(np.array([3, 3, 7]))
+        assert 1 in enc.values.tolist()
+        assert enc.vocab_size == 3
+
+    def test_encode_known_values(self):
+        enc = FanoutEncoder(np.array([1, 2, 5]))
+        codes = enc.encode(np.array([1, 2, 5]))
+        assert (enc.values[codes] == [1, 2, 5]).all()
+
+    def test_unknown_value_clamps_to_nearest(self):
+        enc = FanoutEncoder(np.array([1, 10]))
+        codes = enc.encode(np.array([2, 9, 100]))
+        assert (enc.values[codes] == [1, 10, 10]).all()
+
+    def test_reciprocals(self):
+        enc = FanoutEncoder(np.array([1, 4]))
+        assert enc.reciprocals.tolist() == [1.0, 0.25]
+
+
+class TestLayout:
+    def test_domains_match_specs(self):
+        schema, counts, specs, layout = make_layout()
+        assert layout.n_columns == len(specs)  # no factorization: 1 col/spec
+        # Content columns keep dictionary domain sizes.
+        assert layout.domains[0] == schema.table("A").column("x").domain_size
+
+    def test_factorized_layout_expands_columns(self):
+        _, _, specs, layout = make_layout(bits=1)
+        assert layout.n_columns > len(specs)
+        for name, factorizer in layout.factorizers.items():
+            start, end = layout.spec_ranges[name]
+            assert end - start == factorizer.n_sub
+
+    def test_encode_batch_roundtrip(self):
+        schema, counts, specs, layout = make_layout(bits=1)
+        sampler = FullJoinSampler(schema, counts, specs=specs)
+        batch = sampler.sample_batch(256, np.random.default_rng(0))
+        tokens = layout.encode_batch(batch)
+        assert tokens.shape == (256, layout.n_columns)
+        # Factorized content decodes back to the raw codes.
+        for spec in specs:
+            if spec.kind != "content":
+                continue
+            start, end = layout.spec_ranges[spec.name]
+            decoded = layout.factorizers[spec.name].decode(tokens[:, start:end])
+            assert (decoded == batch[spec.name]).all()
+
+    def test_tokens_within_domains(self):
+        schema, counts, specs, layout = make_layout(bits=1)
+        sampler = FullJoinSampler(schema, counts, specs=specs)
+        batch = sampler.sample_batch(512, np.random.default_rng(1))
+        tokens = layout.encode_batch(batch)
+        for col, dom in enumerate(layout.domains):
+            assert tokens[:, col].min() >= 0
+            assert tokens[:, col].max() < dom
+
+    def test_fanout_spec_name_lookup(self):
+        schema, counts, specs, layout = make_layout()
+        edge = schema.edge_between("A", "B")
+        assert layout.fanout_spec_name("B", edge) == "__fanout_B.x"
+        # A's side is a unique key -> omitted from the model.
+        assert layout.fanout_spec_name("A", edge) is None
+
+    def test_unknown_spec_name(self):
+        from repro.errors import EstimationError
+
+        _, _, _, layout = make_layout()
+        with pytest.raises(EstimationError):
+            layout.spec_by_name("nope")

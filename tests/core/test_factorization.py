@@ -1,0 +1,134 @@
+"""Lossless column factorization: roundtrip, interval translation, tries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.factorization import Factorizer, IntervalState, SetTrie
+from repro.errors import EstimationError
+
+
+class TestFactorizerShape:
+    def test_small_domain_not_factorized(self):
+        f = Factorizer(domain=10, bits=14)
+        assert not f.is_factorized
+        assert f.sub_domains == [10]
+
+    def test_disabled_bits(self):
+        f = Factorizer(domain=10**6, bits=None)
+        assert f.n_sub == 1
+
+    def test_paper_example_shape(self):
+        # Figure 5: domain 10^6, 10 bits -> two subcolumns.
+        f = Factorizer(domain=10**6 + 1, bits=10)
+        assert f.n_sub == 2
+        assert f.sub_domains[1] == 1024
+        assert f.sub_domains[0] == (10**6 >> 10) + 1
+
+    def test_paper_example_values(self):
+        # Figure 5: 1,000,000 -> (976, 576); 1 -> (0, 1).
+        f = Factorizer(domain=10**6 + 1, bits=10)
+        assert f.chunks_of(1_000_000) == [976, 576]
+        assert f.chunks_of(1) == [0, 1]
+
+    def test_bad_domain(self):
+        with pytest.raises(EstimationError):
+            Factorizer(domain=0, bits=4)
+
+
+class TestRoundtrip:
+    @given(st.integers(2, 5000), st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_encode_decode_identity(self, domain, bits):
+        f = Factorizer(domain, bits)
+        codes = np.arange(domain, dtype=np.int64)
+        chunks = f.encode(codes)
+        assert (f.decode(chunks) == codes).all()
+        for k, dom in enumerate(f.sub_domains):
+            assert chunks[:, k].min() >= 0
+            assert chunks[:, k].max() < dom
+
+    @given(st.integers(2, 5000), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_chunk_domains_bounded(self, domain, bits):
+        f = Factorizer(domain, bits)
+        for dom in f.sub_domains[1:]:
+            assert dom == 2**bits
+        assert f.sub_domains[0] <= 2**bits or f.n_sub == 1
+
+
+def accepted_by_interval_walk(factorizer, lo, hi, code):
+    """Simulate the progressive per-chunk constraint for a single value."""
+    chunks = factorizer.chunks_of(code)
+    lo_chunks = factorizer.chunks_of(lo)
+    hi_chunks = factorizer.chunks_of(hi)
+    tight_lo = tight_hi = True
+    for k, chunk in enumerate(chunks):
+        low = lo_chunks[k] if tight_lo else 0
+        high = hi_chunks[k] if tight_hi else factorizer.sub_domains[k] - 1
+        if not (low <= chunk <= high):
+            return False
+        tight_lo = tight_lo and chunk == lo_chunks[k]
+        tight_hi = tight_hi and chunk == hi_chunks[k]
+    return True
+
+
+class TestIntervalTranslation:
+    @given(st.integers(2, 600), st.integers(1, 5), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_walk_accepts_exactly_the_interval(self, domain, bits, data):
+        """The progressively relaxed chunk bounds admit exactly [lo, hi]."""
+        f = Factorizer(domain, bits)
+        lo = data.draw(st.integers(0, domain - 1))
+        hi = data.draw(st.integers(lo, domain - 1))
+        accepted = {
+            code for code in range(domain) if accepted_by_interval_walk(f, lo, hi, code)
+        }
+        assert accepted == set(range(lo, hi + 1))
+
+    def test_interval_state_vectorized_bounds(self):
+        f = Factorizer(domain=256, bits=4)
+        state = IntervalState(f, lo=17, hi=200, n_samples=3)
+        lo0, hi0 = state.bounds(0)
+        assert (lo0 == f.chunks_of(17)[0]).all()
+        assert (hi0 == f.chunks_of(200)[0]).all()
+        # Draw inside the range strictly -> both bounds relax for chunk 1.
+        inside = np.array([f.chunks_of(100)[0]] * 3)
+        state.observe(0, inside)
+        lo1, hi1 = state.bounds(1)
+        assert (lo1 == 0).all()
+        assert (hi1 == f.sub_domains[1] - 1).all()
+
+    def test_empty_interval_rejected(self):
+        f = Factorizer(16, 2)
+        with pytest.raises(EstimationError):
+            IntervalState(f, lo=5, hi=4, n_samples=1)
+
+
+class TestSetTrie:
+    @given(
+        st.integers(8, 600),
+        st.integers(1, 4),
+        st.lists(st.integers(0, 599), min_size=1, max_size=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_trie_paths_are_exactly_the_members(self, domain, bits, raw_codes):
+        codes = sorted({c % domain for c in raw_codes})
+        f = Factorizer(domain, bits)
+        trie = SetTrie(f, np.array(codes))
+
+        def walk(prefix, k):
+            if k == f.n_sub:
+                return {f.decode(np.array([list(prefix)]))[0]}
+            out = set()
+            for v in trie.valid(prefix, k):
+                out |= walk(prefix + (int(v),), k + 1)
+            return out
+
+        assert walk((), 0) == set(codes)
+
+    def test_unknown_prefix_empty(self):
+        f = Factorizer(64, 2)
+        trie = SetTrie(f, np.array([0]))
+        assert len(trie.valid((3,), 1)) == 0

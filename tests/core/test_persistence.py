@@ -1,0 +1,65 @@
+"""Save/load round-trips for trained estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import load_model, save_model
+from repro.errors import EstimationError
+from repro.relational.predicate import Predicate
+from repro.relational.query import Query
+from tests.core.test_estimator import correlated_schema, small_config
+from repro.core.estimator import NeuroCard
+
+
+@pytest.fixture(scope="module")
+def trained():
+    schema = correlated_schema(n_root=150)
+    config = small_config(train_tuples=30_000)
+    return schema, NeuroCard(schema, config).fit()
+
+
+class TestRoundtrip:
+    def test_estimates_survive_roundtrip(self, trained, tmp_path):
+        schema, estimator = trained
+        path = save_model(estimator, tmp_path / "model.npz")
+        loaded = load_model(path, schema)
+        query = Query.make(["R", "C1"], [Predicate("C1", "kind", "=", 1)])
+        rng1, rng2 = np.random.default_rng(7), np.random.default_rng(7)
+        assert estimator.estimate(query, rng=rng1) == pytest.approx(
+            loaded.estimate(query, rng=rng2)
+        )
+
+    def test_weights_identical(self, trained, tmp_path):
+        schema, estimator = trained
+        path = save_model(estimator, tmp_path / "m.npz")
+        loaded = load_model(path, schema)
+        for a, b in zip(estimator.model.parameters(), loaded.model.parameters()):
+            assert np.array_equal(a.value, b.value)
+
+    def test_unfitted_rejected(self, tmp_path):
+        schema = correlated_schema(n_root=30)
+        with pytest.raises(EstimationError):
+            save_model(NeuroCard(schema, small_config()), tmp_path / "x.npz")
+
+    def test_wrong_schema_rejected(self, trained, tmp_path):
+        schema, estimator = trained
+        path = save_model(estimator, tmp_path / "m2.npz")
+        from repro.relational.schema import JoinSchema
+        from repro.relational.table import Table
+
+        other = JoinSchema(
+            tables={"Z": Table.from_dict("Z", {"a": [1]})}, edges=[], root="Z"
+        )
+        with pytest.raises(EstimationError):
+            load_model(path, other)
+
+    def test_changed_dictionaries_rejected(self, trained, tmp_path):
+        schema, estimator = trained
+        path = save_model(estimator, tmp_path / "m3.npz")
+        from repro.relational.table import Table
+
+        mutated = schema.replace_table(
+            Table.from_dict("C2", {"rid": [0, 1], "score": [999, 1000]})
+        )
+        with pytest.raises(EstimationError):
+            load_model(path, mutated)

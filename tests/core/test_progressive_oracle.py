@@ -1,0 +1,178 @@
+"""Progressive sampling against an exact oracle model.
+
+With exact conditionals, the only estimation error is Monte Carlo noise, so
+estimates must match the exact executor closely. This validates region
+translation, indicator constraints, fanout scaling, and the factorized
+subcolumn machinery end to end — independent of any learning.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.progressive import ProgressiveSampler
+from repro.joins.executor import query_cardinality
+from repro.relational.predicate import Predicate
+from repro.relational.query import Query
+from repro.relational.schema import JoinEdge, JoinSchema
+from repro.relational.table import Table
+from tests.core.oracle import OracleModel
+from tests.helpers import paper_figure4_schema
+
+
+def oracle_sampler(schema, factorization_bits=None):
+    oracle = OracleModel(schema, factorization_bits=factorization_bits)
+    return ProgressiveSampler(oracle, oracle.layout, oracle.full_join_size)
+
+
+def rich_schema(seed=0):
+    """A 3-table star with skewed keys, NULLs, and content columns."""
+    rng = np.random.default_rng(seed)
+    n_r, n_c1, n_c2 = 12, 30, 20
+    r = Table.from_dict(
+        "R",
+        {
+            "id": list(range(n_r)),
+            "year": [int(v) for v in rng.integers(1990, 1998, n_r)],
+        },
+    )
+    c1 = Table.from_dict(
+        "C1",
+        {
+            "rid": [int(v) if v < n_r else None for v in rng.integers(0, n_r + 2, n_c1)],
+            "kind": [int(v) for v in rng.integers(0, 4, n_c1)],
+        },
+    )
+    c2 = Table.from_dict(
+        "C2",
+        {
+            "rid": [int(v) for v in rng.integers(0, n_r, n_c2)],
+            "score": [int(v) for v in rng.integers(0, 50, n_c2)],
+        },
+    )
+    return JoinSchema(
+        tables={"R": r, "C1": c1, "C2": c2},
+        edges=[
+            JoinEdge("R", "C1", (("id", "rid"),)),
+            JoinEdge("R", "C2", (("id", "rid"),)),
+        ],
+        root="R",
+    )
+
+
+class TestPaperExamples:
+    def test_q1_all_tables(self):
+        schema = paper_figure4_schema()
+        ps = oracle_sampler(schema)
+        query = Query.make(["A", "B", "C"], [Predicate("A", "x", "=", 2)])
+        est = ps.estimate(query, n_samples=4000, rng=np.random.default_rng(0))
+        assert est == pytest.approx(2.0, rel=0.05)
+
+    def test_q2_schema_subsetting_with_fanout(self):
+        """The paper's Q2: naive read gives 3, fanout scaling recovers 1."""
+        schema = paper_figure4_schema()
+        ps = oracle_sampler(schema)
+        query = Query.make(["A"], [Predicate("A", "x", "=", 2)])
+        est = ps.estimate(query, n_samples=6000, rng=np.random.default_rng(1))
+        assert est == pytest.approx(1.0, rel=0.08)
+
+    def test_two_table_subset(self):
+        schema = paper_figure4_schema()
+        ps = oracle_sampler(schema)
+        query = Query.make(["B", "C"])
+        truth = query_cardinality(schema, query)
+        est = ps.estimate(query, n_samples=6000, rng=np.random.default_rng(2))
+        assert est == pytest.approx(truth, rel=0.08)
+
+
+class TestRicherSchema:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        schema = rich_schema()
+        return schema, oracle_sampler(schema)
+
+    @pytest.mark.parametrize(
+        "tables,preds",
+        [
+            (["R"], [("R", "year", ">=", 1994)]),
+            (["R", "C1"], [("C1", "kind", "=", 2)]),
+            (["R", "C2"], [("C2", "score", "<=", 25)]),
+            (["R", "C1", "C2"], [("R", "year", "<", 1995), ("C1", "kind", ">", 0)]),
+            (["C1"], [("C1", "kind", "IN", (1, 3))]),
+            (["R", "C1"], []),
+        ],
+    )
+    def test_matches_exact_executor(self, setup, tables, preds):
+        schema, ps = setup
+        query = Query.make(tables, [Predicate(*p) for p in preds])
+        truth = query_cardinality(schema, query)
+        est = ps.estimate(query, n_samples=5000, rng=np.random.default_rng(42))
+        if truth == 0:
+            assert est < 1.0
+        else:
+            assert est == pytest.approx(truth, rel=0.15)
+
+
+class TestFactorizedInference:
+    """Force tiny factorization bits so every content column splits."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        schema = rich_schema(seed=3)
+        return schema, oracle_sampler(schema, factorization_bits=2)
+
+    @pytest.mark.parametrize(
+        "tables,preds",
+        [
+            (["R"], [("R", "year", ">=", 1993)]),
+            (["R"], [("R", "year", "=", 1995)]),
+            (["R", "C2"], [("C2", "score", ">", 10), ("C2", "score", "<=", 40)]),
+            (["R", "C1"], [("C1", "kind", "IN", (0, 2, 3))]),
+            (["R", "C1", "C2"], [("R", "year", "<=", 1994), ("C2", "score", ">=", 5)]),
+        ],
+    )
+    def test_factorized_matches_exact(self, setup, tables, preds):
+        schema, ps = setup
+        query = Query.make(tables, [Predicate(*p) for p in preds])
+        truth = query_cardinality(schema, query)
+        est = ps.estimate(query, n_samples=5000, rng=np.random.default_rng(7))
+        if truth == 0:
+            assert est < 1.0
+        else:
+            assert est == pytest.approx(truth, rel=0.15)
+
+    def test_factorization_is_lossless_on_equality(self, setup):
+        schema, ps = setup
+        # Equality pins every subcolumn: zero Monte Carlo slack on this column.
+        year = schema.table("R").column("year").decode(
+            [schema.table("R").codes("year")[0]]
+        )[0]
+        query = Query.make(["R"], [Predicate("R", "year", "=", year)])
+        truth = query_cardinality(schema, query)
+        est = ps.estimate(query, n_samples=3000, rng=np.random.default_rng(9))
+        assert est == pytest.approx(truth, rel=0.1)
+
+
+class TestRegionEdgeCases:
+    def test_empty_region_returns_zero(self):
+        schema = paper_figure4_schema()
+        ps = oracle_sampler(schema)
+        query = Query.make(["A"], [Predicate("A", "x", "=", 999)])
+        assert ps.estimate(query, n_samples=100) == 0.0
+
+    def test_contradictory_predicates_return_zero(self):
+        schema = paper_figure4_schema()
+        ps = oracle_sampler(schema)
+        query = Query.make(
+            ["A"], [Predicate("A", "x", "<", 2), Predicate("A", "x", ">", 1)]
+        )
+        assert ps.estimate(query, n_samples=100) == 0.0
+
+    def test_filter_on_excluded_column_raises(self):
+        from repro.errors import QueryError
+
+        schema = paper_figure4_schema()
+        oracle = OracleModel(schema, exclude=("B.y",))
+        ps = ProgressiveSampler(oracle, oracle.layout, oracle.full_join_size)
+        query = Query.make(["A", "B"], [Predicate("B", "y", "=", "a")])
+        with pytest.raises(QueryError):
+            ps.estimate(query, n_samples=10)

@@ -1,0 +1,55 @@
+"""Region algebra tests."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regions import Region
+
+interval = st.tuples(st.integers(0, 30), st.integers(0, 30))
+codeset = st.lists(st.integers(0, 30), max_size=10)
+
+
+def as_set(region):
+    return set(region.to_codes().tolist())
+
+
+class TestRegion:
+    @given(interval, interval)
+    @settings(max_examples=60, deadline=None)
+    def test_interval_intersection(self, a, b):
+        ra = Region.interval(*a)
+        rb = Region.interval(*b)
+        expected = as_set(ra) & as_set(rb)
+        assert as_set(ra.intersect(rb)) == expected
+
+    @given(interval, codeset)
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_intersection(self, a, codes)    :
+        ra = Region.interval(*a)
+        rb = Region.of_codes(np.array(codes, dtype=np.int64))
+        assert as_set(ra.intersect(rb)) == as_set(ra) & as_set(rb)
+        assert as_set(rb.intersect(ra)) == as_set(ra) & as_set(rb)
+
+    @given(codeset, codeset)
+    @settings(max_examples=60, deadline=None)
+    def test_set_intersection(self, a, b):
+        ra = Region.of_codes(np.array(a, dtype=np.int64))
+        rb = Region.of_codes(np.array(b, dtype=np.int64))
+        assert as_set(ra.intersect(rb)) == set(a) & set(b)
+
+    def test_emptiness(self):
+        assert Region.interval(5, 4).is_empty
+        assert Region.of_codes(np.array([], dtype=np.int64)).is_empty
+        assert not Region.interval(2, 2).is_empty
+
+    def test_contains(self):
+        assert Region.interval(1, 3).contains(2)
+        assert not Region.interval(1, 3).contains(0)
+        assert Region.of_codes(np.array([4, 7])).contains(7)
+
+    def test_from_predicate(self):
+        r = Region.from_predicate(("interval", (2, 5)))
+        assert r.kind == "interval" and (r.lo, r.hi) == (2, 5)
+        r = Region.from_predicate(("set", np.array([1, 2])))
+        assert r.kind == "set"

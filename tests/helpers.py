@@ -1,0 +1,140 @@
+"""Shared test utilities: brute-force reference implementations.
+
+These enumerate joins naively (exponential time) for tiny schemas, providing
+ground truth to validate the linear-time join-count DP, the sampler's
+distribution, and the exact executor.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Optional, Tuple
+
+from repro.relational.schema import JoinEdge, JoinSchema
+from repro.relational.table import Table
+
+
+def row_key_values(table: Table, cols, row: int) -> Tuple:
+    """Raw (decoded) key values of one row; None components mean NULL."""
+    return tuple(table.column(c).decode([table.codes(c)[row]])[0] for c in cols)
+
+
+def matching_rows(schema: JoinSchema, edge: JoinEdge, parent_row: int) -> List[int]:
+    """Child rows equi-joining with a parent row (NULL matches nothing)."""
+    parent = schema.table(edge.parent)
+    child = schema.table(edge.child)
+    pkey = row_key_values(parent, edge.parent_columns, parent_row)
+    if any(v is None for v in pkey):
+        return []
+    out = []
+    for crow in range(child.n_rows):
+        ckey = row_key_values(child, edge.child_columns, crow)
+        if ckey == pkey:
+            out.append(crow)
+    return out
+
+
+def orphan_rows(schema: JoinSchema, edge: JoinEdge) -> List[int]:
+    """Child rows with no join partner in the parent table."""
+    parent = schema.table(edge.parent)
+    child = schema.table(edge.child)
+    parent_keys = set()
+    for prow in range(parent.n_rows):
+        key = row_key_values(parent, edge.parent_columns, prow)
+        if not any(v is None for v in key):
+            parent_keys.add(key)
+    out = []
+    for crow in range(child.n_rows):
+        ckey = row_key_values(child, edge.child_columns, crow)
+        if any(v is None for v in ckey) or ckey not in parent_keys:
+            out.append(crow)
+    return out
+
+
+FullJoinRow = Dict[str, Optional[int]]
+
+
+def brute_force_full_join(schema: JoinSchema) -> List[FullJoinRow]:
+    """All full-outer-join rows under SQL semantics (see counts.py docstring).
+
+    Each row maps table name -> base row id or None (the virtual ⊥ tuple).
+    Rows either carry a real root tuple, or are a single orphan *fragment*
+    (shallowest real tuple in one subtree, NULL everywhere else).
+    """
+
+    def subtree(table: str, row: int) -> List[FullJoinRow]:
+        """All subtree combinations below a REAL row of ``table``."""
+        partial: List[FullJoinRow] = [{table: row}]
+        for edge in schema.child_edges(table):
+            partners = matching_rows(schema, edge, row)
+            if partners:
+                expansions = [
+                    sub for c in partners for sub in subtree(edge.child, c)
+                ]
+            else:
+                expansions = [{edge.child: None}]  # whole child subtree NULL
+            partial = [dict(p, **e) for p, e in product(partial, expansions)]
+        return partial
+
+    all_null = {t: None for t in schema.tables}
+    rows: List[FullJoinRow] = []
+    root = schema.root
+    for root_row in range(schema.table(root).n_rows):
+        for sub in subtree(root, root_row):
+            rows.append({**all_null, **sub})
+    for table in schema.tables:
+        edge = schema.parent_edge(table)
+        if edge is None:
+            continue
+        for orphan in orphan_rows(schema, edge):
+            for sub in subtree(table, orphan):
+                rows.append({**all_null, **sub})
+    return rows
+
+
+def brute_force_inner_count(schema: JoinSchema, query) -> int:
+    """Exact inner-join COUNT with filters by naive enumeration."""
+    tables = list(query.tables)
+    masks = {
+        t: [True] * schema.table(t).n_rows for t in tables
+    }
+    for pred in query.predicates:
+        pmask = pred.mask(schema.table(pred.table))
+        masks[pred.table] = [bool(a and b) for a, b in zip(masks[pred.table], pmask)]
+
+    edges_in_query = [
+        e
+        for e in schema.edges
+        if e.parent in query.tables and e.child in query.tables
+    ]
+    count = 0
+    for combo in product(*(range(schema.table(t).n_rows) for t in tables)):
+        assignment = dict(zip(tables, combo))
+        if not all(masks[t][assignment[t]] for t in tables):
+            continue
+        ok = True
+        for edge in edges_in_query:
+            pkey = row_key_values(
+                schema.table(edge.parent), edge.parent_columns, assignment[edge.parent]
+            )
+            ckey = row_key_values(
+                schema.table(edge.child), edge.child_columns, assignment[edge.child]
+            )
+            if any(v is None for v in pkey) or pkey != ckey:
+                ok = False
+                break
+        if ok:
+            count += 1
+    return count
+
+
+def paper_figure4_schema() -> JoinSchema:
+    """The running example of Figure 4: A(x) -- B(x, y) -- C(y)."""
+    a = Table.from_dict("A", {"x": [1, 2]})
+    b = Table.from_dict("B", {"x": [1, 2, 2], "y": ["a", "b", "c"]})
+    c = Table.from_dict("C", {"y": ["c", "c", "d"]})
+    edges = [
+        JoinEdge(parent="A", child="B", keys=(("x", "x"),)),
+        JoinEdge(parent="B", child="C", keys=(("y", "y"),)),
+    ]
+    return JoinSchema(tables={"A": a, "B": b, "C": c}, edges=edges, root="A")

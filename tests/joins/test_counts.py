@@ -1,0 +1,129 @@
+"""Join-count DP vs brute-force full-outer-join enumeration."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.counts import JoinCounts
+from repro.relational.schema import JoinEdge, JoinSchema
+from repro.relational.table import Table
+from tests.helpers import brute_force_full_join, paper_figure4_schema
+
+key_values = st.lists(
+    st.one_of(st.integers(0, 4), st.none()), min_size=1, max_size=6
+)
+
+
+def make_chain_schema(a_keys, b_keys, c_keys):
+    a = Table.from_dict("A", {"x": a_keys})
+    b = Table.from_dict("B", {"x": b_keys, "y": [i % 3 for i in range(len(b_keys))]})
+    c = Table.from_dict("C", {"y": c_keys})
+    edges = [
+        JoinEdge("A", "B", (("x", "x"),)),
+        JoinEdge("B", "C", (("y", "y"),)),
+    ]
+    return JoinSchema(tables={"A": a, "B": b, "C": c}, edges=edges, root="A")
+
+
+def make_star_schema(root_keys, child1_keys, child2_keys):
+    r = Table.from_dict("R", {"id": root_keys})
+    c1 = Table.from_dict("C1", {"rid": child1_keys})
+    c2 = Table.from_dict("C2", {"rid": child2_keys})
+    edges = [
+        JoinEdge("R", "C1", (("id", "rid"),)),
+        JoinEdge("R", "C2", (("id", "rid"),)),
+    ]
+    return JoinSchema(tables={"R": r, "C1": c1, "C2": c2}, edges=edges, root="R")
+
+
+class TestPaperFigure4:
+    """The end-to-end example of Figure 4 is reproduced exactly."""
+
+    def test_full_join_size_is_5(self):
+        counts = JoinCounts(paper_figure4_schema())
+        assert counts.full_join_size == 5.0
+
+    def test_root_join_counts(self):
+        schema = paper_figure4_schema()
+        counts = JoinCounts(schema)
+        a = schema.table("A")
+        w = counts.weights["A"]
+        assert w[list(a.codes("x")).index(a.column("x").code_for(1))] == 1.0
+        assert w[list(a.codes("x")).index(a.column("x").code_for(2))] == 3.0
+
+    def test_b_join_counts(self):
+        # B's counts w.r.t. its subtree {B, C}: (1,a)->1, (2,b)->1, (2,c)->2.
+        schema = paper_figure4_schema()
+        counts = JoinCounts(schema)
+        assert list(counts.weights["B"]) == [1.0, 1.0, 2.0]
+
+    def test_fanouts_match_figure(self):
+        schema = paper_figure4_schema()
+        counts = JoinCounts(schema)
+        ops = counts.edge_ops["A<-B"]
+        # F_{B.x}: value 2 appears twice in B.x.
+        assert list(ops.child_fanout) == [1, 2, 2]
+        # F_{A.x} is all ones (unique key).
+        assert list(ops.parent_fanout) == [1, 1]
+        ops_bc = counts.edge_ops["B<-C"]
+        # F_{C.y}: c appears twice in C.y.
+        assert list(ops_bc.child_fanout) == [2, 2, 1]
+
+    def test_brute_force_agrees(self):
+        schema = paper_figure4_schema()
+        rows = brute_force_full_join(schema)
+        assert len(rows) == 5
+
+
+class TestAgainstBruteForce:
+    @given(key_values, key_values, key_values)
+    @settings(max_examples=60, deadline=None)
+    def test_chain_full_join_size(self, a_keys, b_keys, c_keys):
+        schema = make_chain_schema(a_keys, b_keys, c_keys)
+        counts = JoinCounts(schema)
+        rows = brute_force_full_join(schema)
+        assert counts.full_join_size == pytest.approx(len(rows))
+
+    @given(key_values, key_values, key_values)
+    @settings(max_examples=60, deadline=None)
+    def test_star_full_join_size(self, r_keys, c1_keys, c2_keys):
+        schema = make_star_schema(r_keys, c1_keys, c2_keys)
+        counts = JoinCounts(schema)
+        rows = brute_force_full_join(schema)
+        assert counts.full_join_size == pytest.approx(len(rows))
+
+    @given(key_values, key_values, key_values)
+    @settings(max_examples=40, deadline=None)
+    def test_root_weights_are_multiplicities(self, a_keys, b_keys, c_keys):
+        schema = make_chain_schema(a_keys, b_keys, c_keys)
+        counts = JoinCounts(schema)
+        rows = brute_force_full_join(schema)
+        multiplicity = Counter(r["A"] for r in rows if r["A"] is not None)
+        for row_id, weight in enumerate(counts.weights["A"]):
+            assert weight == pytest.approx(multiplicity.get(row_id, 0))
+
+
+class TestCompositeKeys:
+    def test_two_column_join(self):
+        a = Table.from_dict("A", {"k1": [1, 1, 2], "k2": [1, 2, 1]})
+        b = Table.from_dict("B", {"k1": [1, 1, 1], "k2": [1, 1, 2]})
+        schema = JoinSchema(
+            tables={"A": a, "B": b},
+            edges=[JoinEdge("A", "B", (("k1", "k1"), ("k2", "k2")))],
+            root="A",
+        )
+        counts = JoinCounts(schema)
+        rows = brute_force_full_join(schema)
+        assert counts.full_join_size == len(rows)
+        # (1,1) matches two B rows; (1,2) matches one; (2,1) none.
+        assert list(counts.weights["A"]) == [2.0, 1.0, 1.0]
+
+
+class TestSingleTable:
+    def test_single_table_schema(self):
+        a = Table.from_dict("A", {"x": [1, 2, 3]})
+        schema = JoinSchema(tables={"A": a}, edges=[], root="A")
+        counts = JoinCounts(schema)
+        assert counts.full_join_size == 3.0

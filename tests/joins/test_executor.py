@@ -1,0 +1,108 @@
+"""Exact executor vs naive enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.joins.counts import JoinCounts
+from repro.joins.executor import inner_join_count, query_cardinality, query_selectivity
+from repro.relational.predicate import Predicate
+from repro.relational.query import Query
+from repro.relational.schema import JoinEdge, JoinSchema
+from repro.relational.table import Table
+from tests.helpers import brute_force_inner_count, paper_figure4_schema
+
+key_values = st.lists(st.one_of(st.integers(0, 4), st.none()), min_size=1, max_size=6)
+
+
+class TestPaperExamples:
+    def test_q1_inner_join_count(self):
+        """Q1 of Figure 4d: three-way join, A.x = 2 -> 2 rows."""
+        schema = paper_figure4_schema()
+        query = Query.make(["A", "B", "C"], [Predicate("A", "x", "=", 2)])
+        assert query_cardinality(schema, query) == 2.0
+
+    def test_q2_single_table(self):
+        """Q2 of Figure 4d: single table, A.x = 2 -> 1 row."""
+        schema = paper_figure4_schema()
+        query = Query.make(["A"], [Predicate("A", "x", "=", 2)])
+        assert query_cardinality(schema, query) == 1.0
+
+    def test_subset_join(self):
+        schema = paper_figure4_schema()
+        query = Query.make(["B", "C"])
+        # B(2,c) joins two C rows; others join none -> 2 rows.
+        assert query_cardinality(schema, query) == 2.0
+
+
+class TestAgainstBruteForce:
+    @given(key_values, key_values, key_values, st.integers(0, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_chain_with_filters(self, a_keys, b_keys, c_keys, literal):
+        a = Table.from_dict("A", {"x": a_keys})
+        b = Table.from_dict(
+            "B", {"x": b_keys, "y": [i % 3 for i in range(len(b_keys))]}
+        )
+        c = Table.from_dict("C", {"y": c_keys})
+        schema = JoinSchema(
+            tables={"A": a, "B": b, "C": c},
+            edges=[
+                JoinEdge("A", "B", (("x", "x"),)),
+                JoinEdge("B", "C", (("y", "y"),)),
+            ],
+            root="A",
+        )
+        counts = JoinCounts(schema)
+        for tables in (["A"], ["A", "B"], ["B", "C"], ["A", "B", "C"]):
+            query = Query.make(tables, [Predicate(tables[0], "x" if tables[0] != "C" else "y", "<=", literal)])
+            exact = query_cardinality(schema, query, counts=counts)
+            brute = brute_force_inner_count(schema, query)
+            assert exact == pytest.approx(brute)
+
+    @given(key_values, key_values)
+    @settings(max_examples=40, deadline=None)
+    def test_star_subsets(self, c1_keys, c2_keys):
+        r = Table.from_dict("R", {"id": [0, 1, 2, 3]})
+        c1 = Table.from_dict("C1", {"rid": c1_keys})
+        c2 = Table.from_dict("C2", {"rid": c2_keys})
+        schema = JoinSchema(
+            tables={"R": r, "C1": c1, "C2": c2},
+            edges=[
+                JoinEdge("R", "C1", (("id", "rid"),)),
+                JoinEdge("R", "C2", (("id", "rid"),)),
+            ],
+            root="R",
+        )
+        counts = JoinCounts(schema)
+        for tables in (["R", "C1"], ["R", "C2"], ["R", "C1", "C2"]):
+            query = Query.make(tables)
+            assert query_cardinality(schema, query, counts=counts) == pytest.approx(
+                brute_force_inner_count(schema, query)
+            )
+
+
+class TestSelectivity:
+    def test_selectivity_in_unit_interval(self):
+        schema = paper_figure4_schema()
+        query = Query.make(["A", "B", "C"], [Predicate("A", "x", "=", 2)])
+        sel = query_selectivity(schema, query)
+        assert 0.0 <= sel <= 1.0
+        assert sel == pytest.approx(2.0 / 2.0)
+
+    def test_empty_join_graph_raises(self):
+        a = Table.from_dict("A", {"x": [1]})
+        b = Table.from_dict("B", {"x": [2]})
+        schema = JoinSchema(
+            tables={"A": a, "B": b},
+            edges=[JoinEdge("A", "B", (("x", "x"),))],
+            root="A",
+        )
+        with pytest.raises(QueryError):
+            query_selectivity(schema, Query.make(["A", "B"]))
+
+    def test_inner_join_count_matches_cardinality_of_unfiltered(self):
+        schema = paper_figure4_schema()
+        assert inner_join_count(schema, ["A", "B"]) == query_cardinality(
+            schema, Query.make(["A", "B"])
+        )

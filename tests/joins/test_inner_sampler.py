@@ -1,0 +1,65 @@
+"""InnerJoinSampler: validity and uniformity of inner-join samples."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.joins.counts import JoinCounts
+from repro.joins.executor import inner_join_count
+from repro.joins.sampler import InnerJoinSampler
+from repro.relational.schema import JoinEdge, JoinSchema
+from repro.relational.table import Table
+from tests.helpers import paper_figure4_schema, row_key_values
+
+
+class TestValidity:
+    def test_samples_actually_join(self):
+        schema = paper_figure4_schema()
+        sampler = InnerJoinSampler(schema)
+        rows = sampler.sample_row_ids(["A", "B", "C"], 500, np.random.default_rng(0))
+        a, b, c = schema.table("A"), schema.table("B"), schema.table("C")
+        for i in range(500):
+            assert row_key_values(a, ("x",), rows["A"][i]) == row_key_values(
+                b, ("x",), rows["B"][i]
+            )
+            assert row_key_values(b, ("y",), rows["B"][i]) == row_key_values(
+                c, ("y",), rows["C"][i]
+            )
+
+    def test_subset_sampling(self):
+        schema = paper_figure4_schema()
+        sampler = InnerJoinSampler(schema)
+        rows = sampler.sample_row_ids(["B", "C"], 200, np.random.default_rng(1))
+        assert set(rows) == {"B", "C"}
+        assert (rows["B"] >= 0).all()
+
+    def test_empty_join_rejected(self):
+        a = Table.from_dict("A", {"x": [1]})
+        b = Table.from_dict("B", {"x": [2]})
+        schema = JoinSchema(
+            tables={"A": a, "B": b},
+            edges=[JoinEdge("A", "B", (("x", "x"),))],
+            root="A",
+        )
+        with pytest.raises(DataError):
+            InnerJoinSampler(schema).sample_row_ids(["A", "B"], 5, np.random.default_rng(2))
+
+
+class TestUniformity:
+    def test_figure4_inner_join_uniform(self):
+        """The 3-way inner join has exactly 2 rows (A=2, B=(2,c), C=c x2);
+        sample frequencies must be ~equal."""
+        schema = paper_figure4_schema()
+        counts = JoinCounts(schema)
+        assert inner_join_count(schema, ["A", "B", "C"], counts=counts) == 2
+        sampler = InnerJoinSampler(schema, counts)
+        n = 15_000
+        rows = sampler.sample_row_ids(["A", "B", "C"], n, np.random.default_rng(3))
+        combos = Counter(
+            (int(rows["A"][i]), int(rows["B"][i]), int(rows["C"][i])) for i in range(n)
+        )
+        assert len(combos) == 2
+        for count in combos.values():
+            assert count == pytest.approx(n / 2, rel=0.05)

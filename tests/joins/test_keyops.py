@@ -1,0 +1,117 @@
+"""Tests for packed-key utilities."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins import keyops
+from repro.relational.column import Column
+
+
+class TestTranslation:
+    def test_translation_roundtrip(self):
+        src = Column.from_values("s", [10, 20, 30])
+        dst = Column.from_values("d", [20, 30, 40])
+        arr = keyops.translation_array(src, dst)
+        assert arr[0] == 0  # NULL -> NULL
+        assert arr[src.code_for(10)] == -1
+        assert arr[src.code_for(20)] == dst.code_for(20)
+        assert arr[src.code_for(30)] == dst.code_for(30)
+
+    def test_translation_empty_dst(self):
+        src = Column.from_values("s", [1, 2])
+        dst = Column.from_values("d", [None])
+        arr = keyops.translation_array(src, dst)
+        assert (arr[1:] == -1).all()
+
+    @given(
+        st.lists(st.integers(0, 30), min_size=0, max_size=25),
+        st.lists(st.integers(0, 30), min_size=0, max_size=25),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_translation_is_value_identity(self, src_vals, dst_vals):
+        src = Column.from_values("s", src_vals)
+        dst = Column.from_values("d", dst_vals)
+        arr = keyops.translation_array(src, dst)
+        for value in set(src_vals):
+            code = src.code_for(value)
+            expected = dst.code_for(value)
+            assert arr[code] == (expected if expected is not None else -1)
+
+
+class TestPacking:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 4)), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pack_is_injective_over_tuples(self, tuples):
+        mat = np.array(tuples, dtype=np.int64)
+        packed = keyops.pack_codes(mat, [7, 5], null_is_invalid=False)
+        seen = {}
+        for t, p in zip(tuples, packed):
+            if p in seen:
+                assert seen[p] == t
+            seen[p] = t
+        assert len(set(seen.values())) == len(set(packed))
+
+    def test_null_invalid_probe_side(self):
+        mat = np.array([[0, 1], [1, 1], [-1, 2]], dtype=np.int64)
+        packed = keyops.pack_codes(mat, [5, 5], null_is_invalid=True)
+        assert packed[0] == -1
+        assert packed[1] >= 0
+        assert packed[2] == -1
+
+    def test_null_valid_build_side(self):
+        mat = np.array([[0, 1]], dtype=np.int64)
+        packed = keyops.pack_codes(mat, [5, 5], null_is_invalid=False)
+        assert packed[0] == 1
+
+
+class TestGroupedRows:
+    @given(st.lists(st.integers(0, 8), min_size=0, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_groups_partition_rows(self, keys):
+        packed = np.array(keys, dtype=np.int64)
+        groups = keyops.GroupedRows(packed)
+        seen = []
+        for g in range(groups.n_groups):
+            rows = groups.rows_of_group(g)
+            assert (packed[rows] == groups.unique_keys[g]).all()
+            seen.extend(rows.tolist())
+        assert sorted(seen) == list(range(len(keys)))
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_group_sums_match_manual(self, keys):
+        packed = np.array(keys, dtype=np.int64)
+        weights = np.arange(1, len(keys) + 1, dtype=np.float64)
+        groups = keyops.GroupedRows(packed)
+        sums = groups.group_sums(weights)
+        for g, key in enumerate(groups.unique_keys):
+            manual = weights[packed == key].sum()
+            assert sums[g] == manual
+
+    def test_find_handles_misses(self):
+        groups = keyops.GroupedRows(np.array([3, 5, 5], dtype=np.int64))
+        idx = groups.find(np.array([3, 4, 5, -1], dtype=np.int64))
+        assert idx[0] == 0
+        assert idx[1] == -1
+        assert idx[2] == 1
+        assert idx[3] == -1
+
+    def test_empty(self):
+        groups = keyops.GroupedRows(np.array([], dtype=np.int64))
+        assert groups.n_groups == 0
+        assert groups.find(np.array([1], dtype=np.int64))[0] == -1
+
+
+class TestKeyFrequencies:
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_frequencies_match_counts(self, keys):
+        packed = np.array(keys, dtype=np.int64)
+        freq = keyops.key_frequencies(packed)
+        for i, key in enumerate(keys):
+            assert freq[i] == keys.count(key)

@@ -1,0 +1,145 @@
+"""Sampler correctness: uniformity over the full join, virtual columns."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.joins.counts import JoinCounts
+from repro.joins.sampler import FullJoinSampler, ThreadedSampler, joined_column_specs
+from repro.relational.schema import JoinEdge, JoinSchema
+from repro.relational.table import Table
+from tests.helpers import brute_force_full_join, paper_figure4_schema
+
+
+def row_signature(rows, i, order):
+    return tuple(int(rows[t][i]) for t in order)
+
+
+class TestUniformity:
+    def test_figure4_distribution_is_uniform(self):
+        """Empirical frequencies over the 5 full-join rows pass a chi-square test."""
+        schema = paper_figure4_schema()
+        sampler = FullJoinSampler(schema)
+        rng = np.random.default_rng(0)
+        n = 20_000
+        rows = sampler.sample_row_ids(n, rng)
+        order = schema.bfs_order()
+        observed = Counter(row_signature(rows, i, order) for i in range(n))
+
+        brute = brute_force_full_join(schema)
+        expected_keys = {
+            tuple(-1 if r[t] is None else r[t] for t in order) for r in brute
+        }
+        assert set(observed) == expected_keys
+        freqs = np.array([observed[k] for k in sorted(expected_keys)], dtype=float)
+        chi2 = ((freqs - n / len(expected_keys)) ** 2 / (n / len(expected_keys))).sum()
+        p_value = 1.0 - stats.chi2.cdf(chi2, df=len(expected_keys) - 1)
+        assert p_value > 1e-4
+
+    def test_star_with_nulls_uniform(self):
+        r = Table.from_dict("R", {"id": [1, 2, 3]})
+        c1 = Table.from_dict("C1", {"rid": [1, 1, 9]})  # 9 is an orphan
+        c2 = Table.from_dict("C2", {"rid": [2, None]})
+        schema = JoinSchema(
+            tables={"R": r, "C1": c1, "C2": c2},
+            edges=[
+                JoinEdge("R", "C1", (("id", "rid"),)),
+                JoinEdge("R", "C2", (("id", "rid"),)),
+            ],
+            root="R",
+        )
+        sampler = FullJoinSampler(schema)
+        brute = brute_force_full_join(schema)
+        assert sampler.full_join_size == len(brute)
+
+        rng = np.random.default_rng(1)
+        n = 30_000
+        rows = sampler.sample_row_ids(n, rng)
+        order = schema.bfs_order()
+        observed = Counter(row_signature(rows, i, order) for i in range(n))
+        expected_keys = {
+            tuple(-1 if r[t] is None else r[t] for t in order) for r in brute
+        }
+        assert set(observed) == expected_keys
+        expected = n / len(expected_keys)
+        for key in expected_keys:
+            assert observed[key] == pytest.approx(expected, rel=0.15)
+
+    def test_all_null_row_never_sampled(self):
+        schema = paper_figure4_schema()
+        sampler = FullJoinSampler(schema)
+        rows = sampler.sample_row_ids(5000, np.random.default_rng(2))
+        order = schema.bfs_order()
+        all_null = np.ones(5000, dtype=bool)
+        for t in order:
+            all_null &= rows[t] < 0
+        assert not all_null.any()
+
+
+class TestVirtualColumns:
+    def test_specs_ordering(self):
+        schema = paper_figure4_schema()
+        counts = JoinCounts(schema)
+        specs = joined_column_specs(schema, counts)
+        kinds = [s.kind for s in specs]
+        # Content columns first, then indicators, then fanouts (§6).
+        first_indicator = kinds.index("indicator")
+        assert all(k == "content" for k in kinds[:first_indicator])
+        assert "fanout" not in kinds[:first_indicator]
+        assert kinds[-1] == "fanout" or "fanout" not in kinds
+
+    def test_unit_fanouts_omitted(self):
+        schema = paper_figure4_schema()
+        counts = JoinCounts(schema)
+        specs = joined_column_specs(schema, counts)
+        names = [s.name for s in specs]
+        # A.x and B.y are unique keys -> their fanouts are omitted (Fig. 4c).
+        assert "__fanout_A.x" not in names
+        assert "__fanout_B.y" not in names
+        assert "__fanout_B.x" in names
+        assert "__fanout_C.y" in names
+
+    def test_indicator_and_fanout_values(self):
+        schema = paper_figure4_schema()
+        sampler = FullJoinSampler(schema)
+        rng = np.random.default_rng(3)
+        rows = sampler.sample_row_ids(4000, rng)
+        batch = sampler.assemble(rows)
+        # Indicators match realness of the sampled row ids.
+        for t in ("A", "B", "C"):
+            assert (batch[f"__in_{t}"] == (rows[t] >= 0)).all()
+        # Fanouts: B rows with x=2 must carry fanout 2; NULL B tuples carry 1.
+        b = schema.table("B")
+        x2 = b.column("x").code_for(2)
+        real_b = rows["B"] >= 0
+        got = batch["__fanout_B.x"]
+        expect_two = real_b & (b.codes("x")[np.maximum(rows["B"], 0)] == x2)
+        assert (got[expect_two] == 2).all()
+        assert (got[~real_b] == 1).all()
+
+    def test_content_null_codes_for_missing_tables(self):
+        schema = paper_figure4_schema()
+        sampler = FullJoinSampler(schema)
+        rows = sampler.sample_row_ids(2000, np.random.default_rng(4))
+        batch = sampler.assemble(rows)
+        missing_c = rows["C"] < 0
+        assert (batch["C.y"][missing_c] == 0).all()
+        assert (batch["C.y"][~missing_c] > 0).all()
+
+    def test_exclude_content_column(self):
+        schema = paper_figure4_schema()
+        counts = JoinCounts(schema)
+        specs = joined_column_specs(schema, counts, exclude=["B.y"])
+        assert "B.y" not in [s.name for s in specs]
+
+
+class TestThreadedSampler:
+    def test_threads_produce_valid_batches(self):
+        schema = paper_figure4_schema()
+        sampler = FullJoinSampler(schema)
+        with ThreadedSampler(sampler, batch_size=64, n_threads=2, seed=7) as threaded:
+            batch = threaded.get_batch()
+        assert set(batch) == set(sampler.column_names())
+        assert all(len(v) == 64 for v in batch.values())

@@ -1,0 +1,139 @@
+"""Gradient checks and unit tests for the numpy layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn.layers import Embedding, Linear, ReLU, Sigmoid, cross_entropy, softmax
+
+
+def finite_diff(f, param, eps=1e-5):
+    """Numerical gradient of scalar f() w.r.t. param.value."""
+    grad = np.zeros_like(param.value, dtype=np.float64)
+    flat = param.value.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        up = f()
+        flat[i] = old - eps
+        down = f()
+        flat[i] = old
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestLinearGradients:
+    def test_weight_and_bias_gradients(self):
+        rng = np.random.default_rng(0)
+        lin = Linear(rng, 4, 3, dtype=np.float64)
+        x = rng.standard_normal((5, 4))
+
+        def loss():
+            return float((lin.forward(x) ** 2).sum())
+
+        lin.W.zero_grad()
+        lin.b.zero_grad()
+        out = lin.forward(x)
+        lin.backward(2 * out)
+        assert np.allclose(lin.W.grad, finite_diff(loss, lin.W), atol=1e-6)
+        assert np.allclose(lin.b.grad, finite_diff(loss, lin.b), atol=1e-6)
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(1)
+        lin = Linear(rng, 4, 3, dtype=np.float64)
+        x = rng.standard_normal((2, 4))
+        out = lin.forward(x)
+        dx = lin.backward(np.ones_like(out))
+        expected = np.ones((2, 3)) @ lin.effective_weight()
+        assert np.allclose(dx, expected)
+
+    def test_masked_connections_stay_zero(self):
+        rng = np.random.default_rng(2)
+        mask = np.array([[1.0, 0.0], [0.0, 1.0]])
+        lin = Linear(rng, 2, 2, mask=mask, dtype=np.float64)
+        x = rng.standard_normal((3, 2))
+        out = lin.forward(x)
+        lin.backward(np.ones_like(out))
+        assert lin.W.grad[0, 1] == 0.0
+        assert lin.W.grad[1, 0] == 0.0
+        # Masked weights never influence the output.
+        assert np.allclose(out[:, 0], x[:, 0] * lin.W.value[0, 0] + lin.b.value[0])
+
+    def test_mask_shape_validated(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(TrainingError):
+            Linear(rng, 2, 2, mask=np.ones((3, 2)))
+
+    def test_backward_before_forward_raises(self):
+        rng = np.random.default_rng(3)
+        lin = Linear(rng, 2, 2)
+        with pytest.raises(TrainingError):
+            lin.backward(np.ones((1, 2)))
+
+
+class TestEmbedding:
+    def test_scatter_add_backward(self):
+        rng = np.random.default_rng(4)
+        emb = Embedding(rng, vocab=5, dim=3, dtype=np.float64)
+        ids = np.array([1, 1, 4])
+        out = emb.forward(ids)
+        emb.W.zero_grad()
+        emb.backward(np.ones_like(out))
+        assert np.allclose(emb.W.grad[1], [2, 2, 2])
+        assert np.allclose(emb.W.grad[4], [1, 1, 1])
+        assert np.allclose(emb.W.grad[0], 0)
+
+    def test_out_of_vocab_rejected(self):
+        rng = np.random.default_rng(5)
+        emb = Embedding(rng, vocab=3, dim=2)
+        with pytest.raises(TrainingError):
+            emb.forward(np.array([3]))
+
+
+class TestActivations:
+    def test_relu_gradient(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 2.0, 0.0]])
+        out = relu.forward(x)
+        assert np.allclose(out, [[0, 2, 0]])
+        grad = relu.backward(np.ones_like(x))
+        assert np.allclose(grad, [[0, 1, 0]])
+
+    def test_sigmoid_range_and_gradient(self):
+        sig = Sigmoid()
+        x = np.array([[0.0, 100.0, -100.0]])
+        y = sig.forward(x)
+        assert y[0, 0] == pytest.approx(0.5)
+        assert 0 <= y.min() and y.max() <= 1
+        grad = sig.backward(np.ones_like(x))
+        assert grad[0, 0] == pytest.approx(0.25)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(6)
+        probs = softmax(rng.standard_normal((8, 5)) * 10)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_cross_entropy_gradient_matches_finite_diff(self):
+        rng = np.random.default_rng(7)
+        logits = rng.standard_normal((4, 3))
+        targets = np.array([0, 2, 1, 2])
+        _, grad = cross_entropy(logits, targets)
+        eps = 1e-6
+        for i in range(4):
+            for j in range(3):
+                up = logits.copy()
+                up[i, j] += eps
+                down = logits.copy()
+                down[i, j] -= eps
+                num = (
+                    cross_entropy(up, targets)[0] - cross_entropy(down, targets)[0]
+                ) / (2 * eps)
+                assert grad[i, j] == pytest.approx(num, abs=1e-4)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6

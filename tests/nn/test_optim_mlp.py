@@ -1,0 +1,58 @@
+"""Adam and MLP sanity tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.mlp import MLP
+from repro.nn.optim import Adam
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        p = Parameter("p", np.array([5.0, -3.0]))
+        opt = Adam([p], lr=0.1, warmup_steps=0)
+        for _ in range(500):
+            opt.zero_grad()
+            p.grad += 2 * p.value  # d/dp ||p||^2
+            opt.step()
+        assert np.abs(p.value).max() < 1e-2
+
+    def test_warmup_scales_first_steps(self):
+        p = Parameter("p", np.array([1.0]))
+        opt = Adam([p], lr=1.0, warmup_steps=10)
+        opt.zero_grad()
+        p.grad += np.array([1.0])
+        opt.step()
+        # First step uses lr/10; Adam normalizes so step size ~ lr_effective.
+        assert abs(1.0 - p.value[0]) < 0.2
+
+    def test_clipping_bounds_update(self):
+        p = Parameter("p", np.zeros(4))
+        opt = Adam([p], lr=0.1, clip_norm=1.0, warmup_steps=0)
+        opt.zero_grad()
+        p.grad += np.full(4, 1e9)
+        opt._clip()
+        assert np.sqrt((p.grad**2).sum()) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestMLP:
+    def test_fits_linear_function(self):
+        rng = np.random.default_rng(0)
+        mlp = MLP(rng, [2, 32, 1], dtype=np.float64)
+        opt = Adam(mlp.parameters(), lr=5e-3, warmup_steps=0)
+        true_w = np.array([2.0, -1.0])
+        for _ in range(800):
+            x = rng.standard_normal((64, 2))
+            y = x @ true_w + 0.5
+            opt.zero_grad()
+            mlp.mse_loss_and_backward(x, y)
+            opt.step()
+        x = rng.standard_normal((256, 2))
+        pred = mlp.forward(x).ravel()
+        assert np.abs(pred - (x @ true_w + 0.5)).mean() < 0.1
+
+    def test_parameter_listing(self):
+        rng = np.random.default_rng(1)
+        mlp = MLP(rng, [3, 4, 2])
+        assert len(mlp.parameters()) == 4  # two Linear layers x (W, b)

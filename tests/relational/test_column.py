@@ -1,0 +1,113 @@
+"""Unit and property tests for dictionary-encoded columns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DataError
+from repro.relational.column import NULL_CODE, Column
+
+values_with_nulls = st.lists(
+    st.one_of(st.integers(-50, 50), st.none()), min_size=0, max_size=60
+)
+
+
+class TestConstruction:
+    def test_from_values_basic(self):
+        col = Column.from_values("c", [3, 1, 2, 1, None])
+        assert col.n_rows == 5
+        assert col.n_distinct == 3
+        assert col.domain_size == 4
+        assert col.has_nulls
+        assert list(col.dictionary) == [1, 2, 3]
+
+    def test_null_code_reserved(self):
+        col = Column.from_values("c", [None, None])
+        assert (col.codes == NULL_CODE).all()
+        assert col.n_distinct == 0
+
+    def test_string_column(self):
+        col = Column.from_values("c", ["b", "a", None, "b"])
+        assert col.decode(col.codes) == ["b", "a", None, "b"]
+
+    def test_rejects_bad_codes(self):
+        with pytest.raises(DataError):
+            Column("c", np.array([5]), np.array([1, 2]))
+
+    def test_rejects_2d_codes(self):
+        with pytest.raises(DataError):
+            Column("c", np.zeros((2, 2), dtype=np.int64), np.array([1]))
+
+    def test_empty_column(self):
+        col = Column.from_values("c", [])
+        assert col.n_rows == 0
+        assert col.domain_size == 1
+
+
+class TestRoundtrip:
+    @given(values_with_nulls)
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_roundtrip(self, values):
+        col = Column.from_values("c", values)
+        assert col.decode(col.codes) == values
+
+    @given(values_with_nulls)
+    @settings(max_examples=60, deadline=None)
+    def test_dictionary_is_sorted(self, values):
+        col = Column.from_values("c", values)
+        assert list(col.dictionary) == sorted(set(v for v in values if v is not None))
+
+
+class TestFilters:
+    @given(values_with_nulls, st.sampled_from(["=", "<", "<=", ">", ">="]), st.integers(-55, 55))
+    @settings(max_examples=120, deadline=None)
+    def test_mask_matches_python_semantics(self, values, op, literal):
+        col = Column.from_values("c", values)
+        mask = col.mask(op, literal)
+        ops = {
+            "=": lambda x: x == literal,
+            "<": lambda x: x < literal,
+            "<=": lambda x: x <= literal,
+            ">": lambda x: x > literal,
+            ">=": lambda x: x >= literal,
+        }
+        expected = [v is not None and ops[op](v) for v in values]
+        assert list(mask) == expected
+
+    @given(values_with_nulls, st.lists(st.integers(-55, 55), max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_in_mask(self, values, in_list):
+        col = Column.from_values("c", values)
+        mask = col.mask("IN", in_list)
+        expected = [v is not None and v in in_list for v in values]
+        assert list(mask) == expected
+
+    def test_code_range_never_includes_null(self):
+        col = Column.from_values("c", [None, 1, 2, 3])
+        for op in ("<", "<=", ">", ">="):
+            lo, hi = col.code_range(op, 2)
+            assert lo >= 1
+
+    def test_code_for_missing_value(self):
+        col = Column.from_values("c", [1, 3])
+        assert col.code_for(2) is None
+        assert col.code_for(3) == 2
+
+    def test_code_range_rejects_in(self):
+        col = Column.from_values("c", [1])
+        with pytest.raises(DataError):
+            col.code_range("IN", [1])
+
+    def test_empty_interval(self):
+        col = Column.from_values("c", [5, 6])
+        lo, hi = col.code_range("=", 4)
+        assert lo > hi
+
+
+class TestTake:
+    def test_take_preserves_dictionary(self):
+        col = Column.from_values("c", [5, None, 7])
+        sub = col.take(np.array([2, 0]))
+        assert sub.decode(sub.codes) == [7, 5]
+        assert sub.dictionary is col.dictionary

@@ -1,0 +1,96 @@
+"""Tests for Table and HashIndex."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DataError
+from repro.relational.column import NULL_CODE
+from repro.relational.index import HashIndex
+from repro.relational.table import Table
+
+
+class TestTable:
+    def test_from_dict(self):
+        t = Table.from_dict("t", {"a": [1, 2], "b": ["x", None]})
+        assert t.n_rows == 2
+        assert t.column_names == ["a", "b"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            Table.from_dict("t", {"a": [1, 2], "b": [1]})
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(DataError):
+            Table("t", [])
+
+    def test_unknown_column_rejected(self):
+        t = Table.from_dict("t", {"a": [1]})
+        with pytest.raises(DataError):
+            t.column("zz")
+
+    def test_key_codes_shape(self):
+        t = Table.from_dict("t", {"a": [1, 2, 3], "b": [4, 5, 6]})
+        assert t.key_codes(["a", "b"]).shape == (3, 2)
+
+    def test_take(self):
+        t = Table.from_dict("t", {"a": [10, 20, 30]})
+        sub = t.take(np.array([2, 0]))
+        assert sub.column("a").decode(sub.codes("a")) == [30, 10]
+
+    def test_concat_same_dictionary(self):
+        t1 = Table.from_dict("t", {"a": [1, 2]})
+        t2 = Table.from_dict("t", {"a": [2, 1]})
+        merged = t1.concat(t2)
+        assert merged.n_rows == 4
+        assert merged.column("a").decode(merged.codes("a")) == [1, 2, 2, 1]
+
+    def test_concat_extends_dictionary(self):
+        t1 = Table.from_dict("t", {"a": [1, 3]})
+        t2 = Table.from_dict("t", {"a": [2, None]})
+        merged = t1.concat(t2)
+        assert merged.column("a").decode(merged.codes("a")) == [1, 3, 2, None]
+        assert list(merged.column("a").dictionary) == [1, 2, 3]
+
+
+class TestHashIndex:
+    def test_lookup_matches_scan(self):
+        t = Table.from_dict("t", {"k": [1, 2, 1, None, 2, 1]})
+        idx = HashIndex(t, ["k"])
+        code_1 = t.column("k").code_for(1)
+        rows = sorted(idx.lookup((code_1,)))
+        assert rows == [0, 2, 5]
+        assert idx.count((code_1,)) == 3
+
+    def test_null_key_lookup_empty(self):
+        t = Table.from_dict("t", {"k": [None, 1]})
+        idx = HashIndex(t, ["k"])
+        assert idx.lookup((NULL_CODE,)).size == 0
+
+    def test_composite_key(self):
+        t = Table.from_dict("t", {"a": [1, 1, 2], "b": [5, 6, 5]})
+        idx = HashIndex(t, ["a", "b"])
+        a1 = t.column("a").code_for(1)
+        b5 = t.column("b").code_for(5)
+        assert list(idx.lookup((a1, b5))) == [0]
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=40)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_index_covers_all_rows(self, pairs):
+        t = Table.from_dict("t", {"a": [p[0] for p in pairs], "b": [p[1] for p in pairs]})
+        idx = HashIndex(t, ["a", "b"])
+        seen = sorted(r for key in idx.keys() for r in idx.lookup(key) if True)
+        # NULL-free data: every row appears exactly once across groups.
+        assert seen == list(range(len(pairs)))
+
+    def test_translate_key(self):
+        t1 = Table.from_dict("t1", {"k": [10, 20, 30]})
+        t2 = Table.from_dict("t2", {"j": [20, 40]})
+        key = (t1.column("k").code_for(20),)
+        translated = HashIndex.translate_key(t1, ["k"], key, t2, ["j"])
+        assert translated == (t2.column("j").code_for(20),)
+        missing = HashIndex.translate_key(t1, ["k"], (t1.column("k").code_for(10),), t2, ["j"])
+        assert missing == (-1,)

@@ -1,0 +1,110 @@
+"""Workload generator tests: §7.1 recipe compliance."""
+
+import pytest
+
+from repro.joins.counts import JoinCounts
+from repro.joins.executor import query_cardinality
+from repro.workloads import (
+    job_light_queries,
+    job_light_ranges_queries,
+    job_m_queries,
+    job_light_schema,
+    job_m_schema,
+    workload_stats,
+)
+from repro.workloads.imdb import ImdbScale
+
+
+@pytest.fixture(scope="module")
+def light():
+    schema = job_light_schema(ImdbScale(n_title=500))
+    return schema, JoinCounts(schema)
+
+
+@pytest.fixture(scope="module")
+def jobm():
+    schema = job_m_schema(ImdbScale(n_title=400))
+    return schema, JoinCounts(schema)
+
+
+class TestJobLight:
+    def test_count_and_validity(self, light):
+        schema, counts = light
+        queries = job_light_queries(schema, n=30, counts=counts)
+        assert len(queries) == 30
+        for q in queries:
+            q.validate(schema)
+            assert 2 <= len(q.tables) <= 5
+            assert q.tables[0] == "title"
+
+    def test_filters_follow_the_recipe(self, light):
+        schema, counts = light
+        for q in job_light_queries(schema, n=30, counts=counts):
+            for pred in q.predicates:
+                if pred.column == "production_year":
+                    assert pred.op in ("<=", ">=", "=")
+                else:
+                    assert pred.op == "="
+
+    def test_queries_are_nonempty(self, light):
+        schema, counts = light
+        for q in job_light_queries(schema, n=30, counts=counts):
+            assert query_cardinality(schema, q, counts=counts) >= 1
+
+
+class TestJobLightRanges:
+    def test_join_graph_spread(self, light):
+        schema, counts = light
+        queries = job_light_ranges_queries(schema, n=90, counts=counts)
+        graphs = {tuple(sorted(q.tables)) for q in queries}
+        assert len(graphs) >= 15  # close to the 18 distinct graphs
+
+    def test_filter_counts(self, light):
+        schema, counts = light
+        for q in job_light_ranges_queries(schema, n=60, counts=counts):
+            assert 2 <= len(q.predicates) <= 6
+
+    def test_has_range_and_in_variety(self, light):
+        schema, counts = light
+        queries = job_light_ranges_queries(schema, n=200, counts=counts)
+        ops = {p.op for q in queries for p in q.predicates}
+        assert {"<=", ">=", "="} <= ops
+        assert "IN" in ops
+
+    def test_nonempty(self, light):
+        schema, counts = light
+        for q in job_light_ranges_queries(schema, n=40, counts=counts):
+            assert query_cardinality(schema, q, counts=counts) >= 1
+
+
+class TestJobM:
+    def test_count_and_span(self, jobm):
+        schema, counts = jobm
+        queries = job_m_queries(schema, n=40, counts=counts)
+        assert len(queries) == 40
+        sizes = [len(q.tables) for q in queries]
+        assert min(sizes) >= 2
+        assert max(sizes) >= 6  # reaches deep join graphs
+        for q in queries:
+            q.validate(schema)
+
+    def test_touches_dimension_tables(self, jobm):
+        schema, counts = jobm
+        queries = job_m_queries(schema, n=40, counts=counts)
+        touched = {t for q in queries for t in q.tables}
+        assert "company_name" in touched or "name" in touched or "keyword" in touched
+
+    def test_nonempty(self, jobm):
+        schema, counts = jobm
+        for q in job_m_queries(schema, n=25, counts=counts):
+            assert query_cardinality(schema, q, counts=counts) >= 1
+
+
+class TestStats:
+    def test_workload_stats_row(self, light):
+        schema, counts = light
+        stats = workload_stats("JOB-light", schema, counts)
+        assert stats.n_tables == 6
+        assert stats.full_join_rows > schema.table("title").n_rows
+        assert stats.max_domain > 0
+        assert "JOB-light" in stats.row()

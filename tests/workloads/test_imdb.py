@@ -1,0 +1,109 @@
+"""Synthetic IMDB generator tests: shape, correlations, determinism."""
+
+import numpy as np
+import pytest
+from scipy.stats import spearmanr
+
+from repro.workloads.imdb import (
+    DEFAULT_EXCLUDED_COLUMNS,
+    ImdbScale,
+    JOB_LIGHT_TABLES,
+    job_light_schema,
+    job_m_schema,
+)
+
+SCALE = ImdbScale(n_title=600)
+
+
+@pytest.fixture(scope="module")
+def light():
+    return job_light_schema(SCALE)
+
+
+@pytest.fixture(scope="module")
+def jobm():
+    return job_m_schema(SCALE)
+
+
+class TestShape:
+    def test_job_light_has_6_tables(self, light):
+        assert set(light.tables) == set(JOB_LIGHT_TABLES)
+        assert light.root == "title"
+
+    def test_job_light_is_star(self, light):
+        for edge in light.edges:
+            assert edge.parent == "title"
+            assert edge.keys == (("id", "movie_id"),)
+
+    def test_job_m_has_16_tables(self, jobm):
+        assert len(jobm.tables) == 16
+        assert len(jobm.edges) == 15
+
+    def test_job_m_multi_key_joins(self, jobm):
+        key_columns = {e.keys[0][0] for e in jobm.edges}
+        # Joins run through several distinct keys, not just title.id.
+        assert len(key_columns) >= 5
+
+    def test_deterministic_under_seed(self):
+        a = job_light_schema(SCALE)
+        b = job_light_schema(SCALE)
+        for name in a.tables:
+            assert np.array_equal(
+                a.table(name).codes("movie_id" if name != "title" else "id"),
+                b.table(name).codes("movie_id" if name != "title" else "id"),
+            )
+
+    def test_scale_controls_size(self):
+        small = job_light_schema(ImdbScale(n_title=200))
+        assert small.table("title").n_rows == 200
+        assert small.table("cast_info").n_rows < SCALE.n_title * 10
+
+
+class TestDataProperties:
+    def test_foreign_keys_mostly_valid(self, light):
+        title_ids = set(range(light.table("title").n_rows))
+        ci = light.table("cast_info")
+        values = ci.column("movie_id").decode(ci.codes("movie_id"))
+        valid = sum(1 for v in values if v in title_ids)
+        assert valid / len(values) > 0.95
+
+    def test_null_fractions(self, light):
+        title = light.table("title")
+        assert title.column("production_year").has_nulls
+        assert title.column("episode_nr").has_nulls
+        ci = light.table("cast_info")
+        assert ci.column("person_role_id").has_nulls
+
+    def test_year_kind_correlation(self, light):
+        title = light.table("title")
+        years = title.codes("production_year")
+        kinds = np.array(
+            title.column("kind_id").decode(title.codes("kind_id"))
+        )
+        recent = years >= np.quantile(years[years > 0], 0.7)
+        # kind 7 (episodes) concentrates in recent years by construction.
+        frac_recent = (kinds[recent] == 7).mean()
+        frac_old = (kinds[~recent] == 7).mean()
+        assert frac_recent > frac_old
+
+    def test_rating_year_cross_table_correlation(self, light):
+        title = light.table("title")
+        mii = light.table("movie_info_idx")
+        movie_ids = np.array(mii.column("movie_id").decode(mii.codes("movie_id")))
+        ratings = np.array(mii.column("info").decode(mii.codes("info")))
+        keep = np.array([m is not None for m in movie_ids])
+        years = title.codes("production_year")
+        parent_years = years[movie_ids[keep].astype(np.int64)]
+        rho = spearmanr(parent_years, ratings[keep]).statistic
+        assert rho > 0.25
+
+    def test_key_skew_is_zipfian(self, light):
+        mk = light.table("movie_keyword")
+        _, counts = np.unique(mk.codes("keyword_id"), return_counts=True)
+        # Top keyword should be far more frequent than the median keyword.
+        assert counts.max() > 10 * np.median(counts)
+
+    def test_excluded_columns_exist(self, jobm):
+        for full in DEFAULT_EXCLUDED_COLUMNS:
+            table, col = full.split(".")
+            assert col in jobm.table(table).column_names
