@@ -7,7 +7,6 @@ checkpoint to the last, with the last two checkpoints close (diminishing
 returns).
 """
 
-import numpy as np
 
 from repro.core.estimator import NeuroCard
 from repro.eval.harness import evaluate_estimator

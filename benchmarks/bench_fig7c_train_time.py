@@ -16,7 +16,6 @@ import time
 from repro.baselines import DeepDBEstimator, MSCNEstimator
 from repro.core.estimator import NeuroCard
 from repro.eval.harness import true_cardinalities
-from repro.joins.counts import JoinCounts
 from repro.workloads import job_light_ranges_queries
 from repro.workloads.imdb import DEFAULT_EXCLUDED_COLUMNS
 

@@ -1,4 +1,4 @@
-"""Figure 7d: per-query inference latency CDFs.
+"""Figure 7d: per-query inference latency CDFs, plus batched serving.
 
 Paper: MSCN is fastest (lightweight net); DeepDB spans ~1-100 ms depending
 on query complexity; NeuroCard sits at a predictable ~17 ms median (more
@@ -6,15 +6,22 @@ FLOPs, but a fixed number of progressive-sampling forward passes).
 
 Shape assertions: MSCN's median latency is the lowest; NeuroCard's latency
 spread (p95/median) is tighter than DeepDB's relative spread or at least
-bounded; all latencies are reported as CDFs.
+bounded; all latencies are reported as CDFs. The batched engine adds an
+amortized-latency series and a throughput comparison: packing ≥ 16 queries
+through ``estimate_batch`` must be at least 3x the sequential loop's
+queries/sec at equal ``n_samples``.
 """
+
+import json
+import os
 
 import numpy as np
 
 from repro.eval.figures import ascii_cdf
 from repro.eval.harness import evaluate_estimator
 
-from conftest import write_result
+from bench_timing import measure_serving_paths
+from conftest import RESULTS_DIR, write_result
 
 
 def test_fig7d_inference_latency(
@@ -28,6 +35,9 @@ def test_fig7d_inference_latency(
             "MSCN": evaluate_estimator("MSCN", mscn_light, queries, truths),
             "DeepDB": evaluate_estimator("DeepDB", deepdb_light, queries, truths),
             "NeuroCard": evaluate_estimator("NeuroCard", neurocard_light, queries, truths),
+            "NeuroCard-batch": evaluate_estimator(
+                "NeuroCard-batch", neurocard_light, queries, truths, batch_size=32
+            ),
         }
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -39,7 +49,7 @@ def test_fig7d_inference_latency(
         for name, lat in series.items()
     }
     text += "\n" + "\n".join(
-        f"  {name:<10} median={med[name]:.2f}ms p95/median={spread[name]:.2f}"
+        f"  {name:<16} median={med[name]:.2f}ms p95/median={spread[name]:.2f}"
         for name in series
     )
     write_result("fig7d_latency", text)
@@ -49,3 +59,38 @@ def test_fig7d_inference_latency(
     assert med["MSCN"] <= med["DeepDB"]
     # NeuroCard's latencies are predictable (tight spread, paper's point).
     assert spread["NeuroCard"] < 6.0
+    # Batched serving amortizes below the sequential per-query latency.
+    assert med["NeuroCard-batch"] < med["NeuroCard"]
+
+
+def test_fig7d_batched_throughput(light_env, neurocard_light, benchmark):
+    """estimate_batch >= 3x the sequential loop's queries/sec at >= 16 queries."""
+    inference = neurocard_light.inference
+    n_samples = 256
+    batch_sizes = (16, 32)
+    queries = light_env.queries["ranges"][: max(batch_sizes)]
+
+    def run():
+        return {
+            size: measure_serving_paths(inference, queries[:size], n_samples)
+            for size in batch_sizes
+        }
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n".join(
+        [f"Figure 7d addendum: batched throughput (n_samples={n_samples})"]
+        + [
+            f"  batch={size:<3d} sequential {r['sequential_qps']:7.1f} q/s | "
+            f"batched {r['batched_qps']:7.1f} q/s | speedup {r['speedup']:.2f}x"
+            for size, r in rows.items()
+        ]
+    )
+    write_result("fig7d_batched_throughput", text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_batched_throughput.json"), "w") as f:
+        json.dump({"n_samples": n_samples, "batches": rows}, f, indent=2)
+
+    for size, r in rows.items():
+        assert r["speedup"] >= 3.0, (
+            f"batched path only {r['speedup']:.2f}x sequential at batch={size}"
+        )

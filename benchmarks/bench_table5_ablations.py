@@ -20,7 +20,6 @@ from repro.baselines import BiasedJoinSampler, JoinSampleEstimator, PerTableAREs
 from repro.core.estimator import NeuroCard
 from repro.core.progressive import ProgressiveSampler
 from repro.eval.harness import evaluate_estimator
-from repro.eval.metrics import summarize_errors
 
 from conftest import base_config, write_result
 
@@ -82,11 +81,15 @@ def test_table5_ablations(light_env, neurocard_light, benchmark):
         )
         record(
             "(B) fact bits=6",
-            NeuroCard(schema, base_config(factorization_bits=6, train_tuples=train_budget, seed=2)).fit(),
+            NeuroCard(schema, base_config(
+                factorization_bits=6, train_tuples=train_budget, seed=2,
+            )).fit(),
         )
         record(
             "(B) no factorization",
-            NeuroCard(schema, base_config(factorization_bits=None, train_tuples=train_budget, seed=3)).fit(),
+            NeuroCard(schema, base_config(
+                factorization_bits=None, train_tuples=train_budget, seed=3,
+            )).fit(),
         )
         record(
             "(C) demb=48",
@@ -98,7 +101,11 @@ def test_table5_ablations(light_env, neurocard_light, benchmark):
         )
         record(
             "(D) per-table AR",
-            PerTableAREstimator(schema, base_config(train_tuples=train_budget, progressive_samples=128), counts),
+            PerTableAREstimator(
+                schema,
+                base_config(train_tuples=train_budget, progressive_samples=128),
+                counts,
+            ),
         )
         record(
             "(E) join samples only",

@@ -1,0 +1,53 @@
+"""Shared timing helpers for the throughput benches and the CI smoke bench.
+
+Kept free of pytest imports so ``smoke_latency.py`` can run in a bare
+environment (CI's smoke job installs only the package). Both the fig7d
+throughput addendum and the smoke benchmark measure through these helpers
+so their numbers share one methodology.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import numpy as np
+
+
+def best_of(fn, rounds: int = 3) -> float:
+    """Best wall time of ``fn`` over ``rounds``, after one warm-up call."""
+    fn()  # warm caches (plans, allocator) outside the timed rounds
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_serving_paths(
+    inference, queries, n_samples: int, rounds: int = 3
+) -> Dict[str, float]:
+    """Queries/sec of the sequential loop vs ``estimate_batch``.
+
+    Equal ``n_samples`` on both paths; the sequential loop seeds one
+    generator per query, mirroring how the equivalence tests pin streams.
+    """
+    t_seq = best_of(
+        lambda: [
+            inference.estimate(q, n_samples=n_samples, rng=np.random.default_rng(i))
+            for i, q in enumerate(queries)
+        ],
+        rounds=rounds,
+    )
+    t_bat = best_of(
+        lambda: inference.estimate_batch(
+            queries, n_samples=n_samples, rng=np.random.default_rng(0)
+        ),
+        rounds=rounds,
+    )
+    return {
+        "sequential_qps": len(queries) / t_seq,
+        "batched_qps": len(queries) / t_bat,
+        "speedup": t_seq / t_bat,
+    }

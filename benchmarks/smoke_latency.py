@@ -1,0 +1,66 @@
+"""CI smoke benchmark: tiny-config serving latency, sequential vs batched.
+
+Trains a small NeuroCard on a scaled-down JOB-light schema (seconds on one
+CPU) and measures the two serving paths at equal ``n_samples``. Writes a
+``BENCH_smoke_latency.json`` artifact so CI runs accumulate a throughput
+trajectory over time; it never fails the build on perf numbers (that is the
+full ``bench_fig7d_latency.py``'s job on a quiet machine).
+
+Run:  PYTHONPATH=src python benchmarks/smoke_latency.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro.core import NeuroCard, NeuroCardConfig
+from repro.joins.counts import JoinCounts
+from repro.workloads import job_light_ranges_queries, job_light_schema
+from repro.workloads.imdb import DEFAULT_EXCLUDED_COLUMNS, ImdbScale
+
+
+from bench_timing import measure_serving_paths  # noqa: E402  (benchmarks/ on sys.path)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_smoke_latency.json")
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--n-samples", type=int, default=128)
+    args = parser.parse_args()
+
+    schema = job_light_schema(ImdbScale(n_title=600))
+    counts = JoinCounts(schema)
+    config = NeuroCardConfig(
+        d_emb=8, d_ff=64, n_blocks=2, factorization_bits=14,
+        batch_size=512, train_tuples=60_000, learning_rate=5e-3,
+        progressive_samples=args.n_samples, sampler_threads=1,
+        exclude_columns=DEFAULT_EXCLUDED_COLUMNS, seed=0,
+    )
+    start = time.perf_counter()
+    estimator = NeuroCard(schema, config).fit()
+    train_seconds = time.perf_counter() - start
+    queries = job_light_ranges_queries(schema, n=args.batch_size, counts=counts)
+    measured = measure_serving_paths(estimator.inference, queries, args.n_samples)
+
+    report = {
+        "bench": "smoke_latency",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "train_seconds": round(train_seconds, 2),
+        "model_mb": round(estimator.size_mb, 3),
+        "n_queries": len(queries),
+        "n_samples": args.n_samples,
+        **{key: round(value, 2) for key, value in measured.items()},
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(json.dumps(report, indent=2))
+    print(f"[saved to {args.out}]")
+
+
+if __name__ == "__main__":
+    main()

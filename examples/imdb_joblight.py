@@ -33,9 +33,11 @@ def main() -> None:
           f"{neurocard.prepare_seconds:.2f}s, trained in "
           f"{neurocard.train_result.wall_seconds:.0f}s")
 
+    # NeuroCard serves through the batched engine (amortized latency);
+    # batch_size=1 or omitting it falls back to one query at a time.
     results = [
         evaluate_estimator("Postgres", PostgresEstimator(schema), queries, truths),
-        evaluate_estimator("NeuroCard", neurocard, queries, truths),
+        evaluate_estimator("NeuroCard", neurocard, queries, truths, batch_size=32),
     ]
     print()
     print(format_report("JOB-light (70 queries)", results))

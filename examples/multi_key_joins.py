@@ -51,10 +51,10 @@ def main() -> None:
             name="no fact table",
         ),
     ]
+    estimates = estimator.estimate_batch(queries)  # one packed inference pass
     print(f"{'query':<22} {'tables':>6} {'true':>9} {'estimate':>11} {'q-error':>8}")
-    for query in queries:
+    for query, estimate in zip(queries, estimates):
         truth = query_cardinality(schema, query, counts=counts)
-        estimate = estimator.estimate(query)
         print(f"{query.name:<22} {len(query.tables):>6} {truth:>9.0f} "
               f"{estimate:>11.1f} {q_error(estimate, truth):>8.2f}")
 

@@ -15,7 +15,7 @@ paper's incremental-training strategy for data ingests (§7.6).
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -86,6 +86,11 @@ class NeuroCard:
 
     def _train(self, n_tuples: int) -> None:
         cfg = self.config
+        if self._optimizer is not None and self._optimizer.t > 0:
+            # Incremental update: re-anchor the LR schedule so the extra
+            # steps get a fresh warmup+decay segment instead of sitting at
+            # the floor of the (already exhausted) original cosine.
+            self._optimizer.extend_schedule(max(n_tuples // cfg.batch_size, 1))
         if cfg.sampler_threads > 1:
             with ThreadedSampler(
                 self.sampler, cfg.batch_size, n_threads=cfg.sampler_threads,
@@ -122,6 +127,28 @@ class NeuroCard:
         return self.inference.estimate(
             query,
             n_samples=self.config.progressive_samples,
+            rng=rng if rng is not None else self._rng,
+        )
+
+    def estimate_batch(
+        self,
+        queries: Sequence[Query],
+        rng: Optional[np.random.Generator] = None,
+        n_samples: Optional[int] = None,
+    ) -> np.ndarray:
+        """Estimated COUNT(*) for many queries in one packed inference pass.
+
+        All queries share one model forward pass per constrained column (the
+        batched serving path); results match looping :meth:`estimate` up to
+        the per-query Monte Carlo streams. Returns one estimate per query.
+        """
+        if not self.is_fitted:
+            raise EstimationError("call fit() before estimate_batch()")
+        return self.inference.estimate_batch(
+            queries,
+            n_samples=(
+                n_samples if n_samples is not None else self.config.progressive_samples
+            ),
             rng=rng if rng is not None else self._rng,
         )
 

@@ -101,32 +101,78 @@ class IntervalState:
         hi = np.where(self.tight_hi, self.hi_chunks[sub], dom - 1)
         return lo, hi
 
-    def observe(self, sub: int, drawn: np.ndarray) -> None:
-        """Relax bounds after drawing subcolumn ``sub``."""
-        self.tight_lo &= drawn == self.lo_chunks[sub]
-        self.tight_hi &= drawn == self.hi_chunks[sub]
+    def observe(self, sub: int, drawn: np.ndarray, idx=None) -> None:
+        """Relax bounds after drawing subcolumn ``sub``.
+
+        ``idx`` restricts the update to a row subset (``drawn`` then holds
+        one value per selected row), letting the batched engine step only
+        the still-alive samples.
+        """
+        if idx is None:
+            self.tight_lo &= drawn == self.lo_chunks[sub]
+            self.tight_hi &= drawn == self.hi_chunks[sub]
+        else:
+            self.tight_lo[idx] &= drawn == self.lo_chunks[sub]
+            self.tight_hi[idx] &= drawn == self.hi_chunks[sub]
 
 
 class SetTrie:
     """Prefix trie over chunk tuples for IN filters on factorized columns.
 
-    ``valid(prefix, k)`` returns the sorted chunk values admissible at level
-    ``k`` given the already-drawn higher chunks.
+    The trie is stored as flat arrays so progressive sampling can walk many
+    samples at once: each distinct drawn prefix at level ``k`` is a dense
+    *node id*, ``codes_at(node, k)`` gives the admissible chunk values under
+    that node, and :meth:`advance` maps ``(node, drawn chunk)`` pairs to the
+    next level's node ids with a single ``searchsorted``. ``valid(prefix,
+    k)`` keeps the tuple-keyed view for tests and single-sample callers.
     """
 
     def __init__(self, factorizer: Factorizer, codes: np.ndarray):
         self.factorizer = factorizer
-        chunks = factorizer.encode(np.asarray(codes, dtype=np.int64))
-        self._levels: List[Dict[Tuple[int, ...], np.ndarray]] = []
-        for k in range(factorizer.n_sub):
-            level: Dict[Tuple[int, ...], set] = {}
-            for row in chunks:
-                prefix = tuple(int(v) for v in row[:k])
-                level.setdefault(prefix, set()).add(int(row[k]))
-            self._levels.append(
-                {p: np.array(sorted(vals), dtype=np.int64) for p, vals in level.items()}
+        codes = np.unique(np.asarray(codes, dtype=np.int64))
+        chunks = factorizer.encode(codes)
+        self.n_sub = factorizer.n_sub
+        # Per level: node -> sorted admissible chunk values, the sorted
+        # (node * sub_domain + chunk) transition keys (whose positions are
+        # the next level's node ids), and prefix-tuple -> node for valid().
+        self._node_codes: List[List[np.ndarray]] = []
+        self._trans_keys: List[np.ndarray] = []
+        self._prefix_nodes: List[Dict[Tuple[int, ...], int]] = [{(): 0}]
+        node_of_row = np.zeros(len(codes), dtype=np.int64)
+        for k in range(self.n_sub):
+            dom = factorizer.sub_domains[k]
+            keys, node_of_row = np.unique(
+                node_of_row * dom + chunks[:, k], return_inverse=True
             )
+            parents, values = keys // dom, keys % dom
+            n_nodes = len(self._prefix_nodes[k])
+            self._node_codes.append([values[parents == p] for p in range(n_nodes)])
+            self._trans_keys.append(keys)
+            children: Dict[Tuple[int, ...], int] = {}
+            for prefix, node in self._prefix_nodes[k].items():
+                for v in self._node_codes[k][node]:
+                    child = int(np.searchsorted(keys, node * dom + v))
+                    children[prefix + (int(v),)] = child
+            self._prefix_nodes.append(children)
 
     def valid(self, prefix: Tuple[int, ...], k: int) -> np.ndarray:
         """Admissible chunk values at level ``k`` for a drawn prefix."""
-        return self._levels[k].get(prefix, np.empty(0, dtype=np.int64))
+        node = self._prefix_nodes[k].get(tuple(prefix))
+        if node is None:
+            return np.empty(0, dtype=np.int64)
+        return self._node_codes[k][node]
+
+    def codes_at(self, node: int, k: int) -> np.ndarray:
+        """Admissible chunk values at level ``k`` under node ``node``."""
+        return self._node_codes[k][node]
+
+    def advance(self, nodes: np.ndarray, drawn: np.ndarray, k: int) -> np.ndarray:
+        """Vectorized ``(node, drawn chunk) -> next-level node`` transition.
+
+        Pairs without a matching trie edge (possible for samples that just
+        went dead) map to node 0; callers mask those out via ``alive``.
+        """
+        keys = self._trans_keys[k]
+        key = nodes * self.factorizer.sub_domains[k] + drawn
+        idx = np.minimum(np.searchsorted(keys, key), len(keys) - 1)
+        return np.where(keys[idx] == key, idx, 0)

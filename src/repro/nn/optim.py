@@ -39,12 +39,33 @@ class Adam:
         self.total_steps = total_steps
         self.min_lr_ratio = min_lr_ratio
         self.t = 0
+        self._segment_start = 0
+        self._segment_warmup = warmup_steps
         self._m = [np.zeros_like(p.value, dtype=np.float64) for p in self.params]
         self._v = [np.zeros_like(p.value, dtype=np.float64) for p in self.params]
 
     def zero_grad(self) -> None:
         for p in self.params:
             p.zero_grad()
+
+    def extend_schedule(self, extra_steps: int) -> None:
+        """Re-anchor warmup+decay for ``extra_steps`` more steps.
+
+        Incremental training (``NeuroCard.update``) reuses this optimizer
+        past its original ``total_steps``; without re-anchoring, the cosine
+        progress stays clamped at 1.0 and every extra step runs at the
+        ``min_lr_ratio`` floor. This starts a fresh warmup-then-decay
+        segment at the current step so the update budget gets a real
+        schedule while preserving Adam's moment state. The segment's warmup
+        is capped to a tenth of the extension so short update budgets spend
+        their steps decaying instead of ramping.
+        """
+        if extra_steps <= 0:
+            return
+        self._segment_start = self.t
+        self._segment_warmup = min(self.warmup_steps, extra_steps // 10)
+        if self.total_steps is not None:
+            self.total_steps = self.t + extra_steps
 
     def _clip(self) -> None:
         if self.clip_norm is None:
@@ -59,20 +80,26 @@ class Adam:
             for p in self.params:
                 p.grad *= scale
 
+    def lr_at(self, t: int) -> float:
+        """Learning rate used at (1-based) step ``t`` of the current segment."""
+        t_seg = t - self._segment_start
+        warmup = self._segment_warmup
+        if warmup and t_seg <= warmup:
+            return self.lr * t_seg / warmup
+        if self.total_steps:
+            seg_total = self.total_steps - self._segment_start
+            if seg_total > warmup:
+                progress = (t_seg - warmup) / (seg_total - warmup)
+                progress = min(max(progress, 0.0), 1.0)
+                floor = self.lr * self.min_lr_ratio
+                return floor + 0.5 * (self.lr - floor) * (1 + np.cos(np.pi * progress))
+        return self.lr
+
     def step(self) -> None:
         """Apply one update from the accumulated gradients."""
         self._clip()
         self.t += 1
-        lr = self.lr
-        if self.warmup_steps and self.t <= self.warmup_steps:
-            lr = self.lr * self.t / self.warmup_steps
-        elif self.total_steps and self.total_steps > self.warmup_steps:
-            progress = (self.t - self.warmup_steps) / (
-                self.total_steps - self.warmup_steps
-            )
-            progress = min(max(progress, 0.0), 1.0)
-            floor = self.lr * self.min_lr_ratio
-            lr = floor + 0.5 * (self.lr - floor) * (1 + np.cos(np.pi * progress))
+        lr = self.lr_at(self.t)
         correction1 = 1.0 - self.beta1**self.t
         correction2 = 1.0 - self.beta2**self.t
         for p, m, v in zip(self.params, self._m, self._v):

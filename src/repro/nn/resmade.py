@@ -152,6 +152,48 @@ class ResMADE:
         flat = self.forward_logits(tokens, wildcard)
         return softmax(self.column_logits(flat, col).astype(np.float64))
 
+    def column_conditional(
+        self, tokens: np.ndarray, col: int, wildcard: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """``p(X_col | inputs)`` on the inference fast path.
+
+        Mathematically identical to :meth:`conditional`, but computes only
+        what column ``col`` depends on: embeddings and input-linear weights
+        are sliced to columns ``< col`` (the MADE masks zero every other
+        connection anyway) and only column ``col``'s slice of the output
+        head is evaluated — instead of all ``Σ domains`` logits. Does not
+        touch the layers' backward caches, so it is safe to interleave with
+        training steps. The batched serving engine calls this per column.
+        """
+        if tokens.ndim != 2 or tokens.shape[1] < col:
+            raise TrainingError(
+                f"tokens must be (batch, >= {col}), got {tokens.shape}"
+            )
+        n = len(tokens)
+        if col == 0:
+            x = np.zeros((n, 0), dtype=self.dtype)
+        else:
+            pieces = []
+            for i in range(col):
+                ids = tokens[:, i]
+                if wildcard is not None:
+                    ids = np.where(wildcard[:, i], self.domains[i], ids)
+                pieces.append(self.embeddings[i].W.value[ids])
+            x = np.concatenate(pieces, axis=1)
+        w_in = self.input_linear.effective_weight()[:, : col * self.d_emb]
+        h = x @ w_in.T + self.input_linear.b.value
+        for block in self.blocks:
+            a = np.maximum(h, 0.0)
+            a = a @ block.lin1.effective_weight().T + block.lin1.b.value
+            np.maximum(a, 0.0, out=a)
+            a = a @ block.lin2.effective_weight().T + block.lin2.b.value
+            h = h + a
+        np.maximum(h, 0.0, out=h)
+        lo, hi = self.offsets[col], self.offsets[col + 1]
+        w_out = self.output_linear.effective_weight()[lo:hi]
+        logits = h @ w_out.T + self.output_linear.b.value[lo:hi]
+        return softmax(logits.astype(np.float64))
+
     def loss_and_backward(
         self, tokens: np.ndarray, wildcard: Optional[np.ndarray] = None
     ) -> float:

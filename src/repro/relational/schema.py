@@ -146,7 +146,9 @@ class JoinSchema:
             edges.append(parent)
         return edges
 
-    def bfs_order(self, root: Optional[str] = None, within: Optional[Iterable[str]] = None) -> List[str]:
+    def bfs_order(
+        self, root: Optional[str] = None, within: Optional[Iterable[str]] = None
+    ) -> List[str]:
         """Tables in breadth-first order from ``root``, optionally restricted
         to a connected subset ``within``."""
         root = root or self.root

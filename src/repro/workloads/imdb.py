@@ -161,7 +161,10 @@ class _ImdbBuilder:
                 "gender": [
                     {0: "m", 1: "f", 2: None}[int(g)] for g in genders
                 ],
-                "name_pcode": [_pcode(int(v)) for v in rng.integers(0, scale.n_person // 2 + 1, scale.n_person)],
+                "name_pcode": [
+                    _pcode(int(v))
+                    for v in rng.integers(0, scale.n_person // 2 + 1, scale.n_person)
+                ],
             },
         )
         self.tables["role_type"] = Table.from_dict(
@@ -175,7 +178,10 @@ class _ImdbBuilder:
             "char_name",
             {
                 "id": list(range(scale.n_char)),
-                "name_pcode": [_pcode(int(v)) for v in rng.integers(0, scale.n_char // 2 + 1, scale.n_char)],
+                "name_pcode": [
+                    _pcode(int(v))
+                    for v in rng.integers(0, scale.n_char // 2 + 1, scale.n_char)
+                ],
             },
         )
 
@@ -205,7 +211,10 @@ class _ImdbBuilder:
             {
                 "id": list(range(scale.n_company)),
                 "country_code": [f"[{chr(97 + int(c))}]" for c in countries],
-                "name_pcode": [_pcode(int(v)) for v in rng.integers(0, scale.n_company, scale.n_company)],
+                "name_pcode": [
+                    _pcode(int(v))
+                    for v in rng.integers(0, scale.n_company, scale.n_company)
+                ],
             },
         )
         self.tables["company_type"] = Table.from_dict(
@@ -284,7 +293,10 @@ class _ImdbBuilder:
             "keyword",
             {
                 "id": list(range(scale.n_keyword)),
-                "keyword_pcode": [_pcode(int(v)) for v in rng.integers(0, scale.n_keyword // 2 + 1, scale.n_keyword)],
+                "keyword_pcode": [
+                    _pcode(int(v))
+                    for v in rng.integers(0, scale.n_keyword // 2 + 1, scale.n_keyword)
+                ],
             },
         )
 

@@ -1,0 +1,198 @@
+"""Batched inference engine: equivalence with the sequential oracle path.
+
+The sequential ``estimate`` loop is the correctness oracle: given the same
+per-query generator, ``estimate_batch`` must reproduce its results — exactly
+under the deterministic tabular oracle model (both paths draw identical
+uniform streams and the oracle's conditionals are row-independent), and
+within Monte Carlo tolerance end-to-end on a trained NeuroCard.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import NeuroCardConfig
+from repro.core.estimator import NeuroCard
+from repro.core.progressive import ProgressiveSampler
+from repro.errors import EstimationError
+from repro.relational.predicate import Predicate
+from repro.relational.query import Query
+from tests.core.oracle import OracleModel
+from tests.core.test_progressive_oracle import rich_schema
+from tests.helpers import paper_figure4_schema
+
+
+def oracle_sampler(schema, factorization_bits=None):
+    oracle = OracleModel(schema, factorization_bits=factorization_bits)
+    return ProgressiveSampler(oracle, oracle.layout, oracle.full_join_size)
+
+
+def mixed_workload():
+    """Queries spanning interval, IN, fanout-downscaled, and empty regions."""
+    return [
+        Query.make(["R"], [Predicate("R", "year", ">=", 1993)]),
+        Query.make(["R", "C1"], [Predicate("C1", "kind", "IN", (0, 2, 3))]),
+        Query.make(
+            ["R", "C2"],
+            [Predicate("C2", "score", ">", 10), Predicate("C2", "score", "<=", 40)],
+        ),
+        Query.make(["C1"], [Predicate("C1", "kind", "=", 2)]),  # fanout downscale
+        Query.make(["R", "C1", "C2"], []),
+        Query.make(["R"], [Predicate("R", "year", "=", 3000)]),  # empty region
+        Query.make(["R", "C2"], [Predicate("C2", "score", "IN", (1, 7, 30, 44))]),
+        Query.make(["R"], [Predicate("R", "year", "=", 1995)]),
+    ]
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("bits", [None, 2], ids=["flat", "factorized"])
+    def test_batch_matches_sequential_loop(self, bits):
+        """Same per-query rng => batched == sequential, to fp exactness."""
+        schema = rich_schema(seed=3)
+        ps = oracle_sampler(schema, factorization_bits=bits)
+        queries = mixed_workload()
+        n = 250
+        sequential = np.array(
+            [
+                ps.estimate(q, n_samples=n, rng=np.random.default_rng(50 + i))
+                for i, q in enumerate(queries)
+            ]
+        )
+        batched = ps.estimate_batch(
+            queries,
+            n_samples=n,
+            rngs=[np.random.default_rng(50 + i) for i in range(len(queries))],
+        )
+        np.testing.assert_allclose(batched, sequential, rtol=1e-9)
+
+    def test_fanout_downscaled_subset(self):
+        """The paper's Q2 shape: single-table query with fanout scaling."""
+        schema = paper_figure4_schema()
+        ps = oracle_sampler(schema)
+        queries = [
+            Query.make(["A"], [Predicate("A", "x", "=", 2)]),
+            Query.make(["A", "B", "C"], [Predicate("A", "x", "=", 2)]),
+            Query.make(["B", "C"]),
+        ]
+        batched = ps.estimate_batch(
+            queries, n_samples=4000, rng=np.random.default_rng(1)
+        )
+        assert batched[0] == pytest.approx(1.0, rel=0.1)
+        assert batched[1] == pytest.approx(2.0, rel=0.1)
+
+    def test_default_rng_spawns_independent_streams(self):
+        schema = rich_schema(seed=3)
+        ps = oracle_sampler(schema)
+        queries = [Query.make(["R"], [Predicate("R", "year", ">=", 1993)])] * 3
+        out = ps.estimate_batch(queries, n_samples=200, rng=np.random.default_rng(7))
+        # Same query, independent streams: close but not identical estimates.
+        assert len(set(np.round(out, 12))) > 1
+        assert np.allclose(out, out[0], rtol=0.25)
+
+    def test_empty_batch_and_bad_args(self):
+        schema = rich_schema(seed=3)
+        ps = oracle_sampler(schema)
+        assert len(ps.estimate_batch([])) == 0
+        query = Query.make(["R"])
+        with pytest.raises(EstimationError):
+            ps.estimate_batch([query], n_samples=0)
+        with pytest.raises(EstimationError):
+            ps.estimate_batch([query, query], rngs=[np.random.default_rng(0)])
+
+
+class TestPlanCache:
+    def test_repeated_shapes_hit_cache(self):
+        schema = rich_schema(seed=3)
+        ps = oracle_sampler(schema)
+        queries = [
+            Query.make(["R", "C1"], [Predicate("R", "year", ">=", 1990 + i % 3)])
+            for i in range(12)
+        ]
+        ps.estimate_batch(queries, n_samples=8, rng=np.random.default_rng(0))
+        assert ps.plan_cache_misses == 1  # one distinct table set
+        assert ps.plan_cache_hits == 11
+        assert len(ps._region_cache) == 3  # three distinct predicate values
+
+    def test_cached_plans_do_not_change_results(self):
+        schema = rich_schema(seed=3)
+        ps = oracle_sampler(schema)
+        query = Query.make(["R", "C1"], [Predicate("C1", "kind", "=", 2)])
+        first = ps.estimate(query, n_samples=300, rng=np.random.default_rng(3))
+        again = ps.estimate(query, n_samples=300, rng=np.random.default_rng(3))
+        assert first == again
+        assert ps.plan_cache_hits >= 1
+
+    def test_region_cache_bounded(self):
+        schema = rich_schema(seed=3)
+        ps = oracle_sampler(schema)
+        ps.REGION_CACHE_LIMIT = 4
+        for year in range(1990, 1997):
+            ps.plan(Query.make(["R"], [Predicate("R", "year", "=", year)]))
+        assert len(ps._region_cache) <= 4
+
+
+class TestTrainedModelEquivalence:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        from tests.core.test_estimator import correlated_schema, small_config
+
+        schema = correlated_schema(n_root=150)
+        config = small_config(train_tuples=30_000, progressive_samples=128)
+        return schema, NeuroCard(schema, config).fit()
+
+    def test_estimate_batch_matches_sequential(self, fitted):
+        _, estimator = fitted
+        queries = [
+            Query.make(["R"], [Predicate("R", "year", ">=", 1995)]),
+            Query.make(["R", "C1"], [Predicate("C1", "kind", "=", 1)]),
+            Query.make(["R", "C2"], [Predicate("C2", "score", "<", 10)]),
+            Query.make(["R", "C1"], [Predicate("R", "year", "IN", (1991, 1996))]),
+            Query.make(["C1"], []),
+        ]
+        n = estimator.config.progressive_samples
+        sequential = np.array(
+            [
+                estimator.inference.estimate(
+                    q, n_samples=n, rng=np.random.default_rng(900 + i)
+                )
+                for i, q in enumerate(queries)
+            ]
+        )
+        batched = estimator.inference.estimate_batch(
+            queries,
+            n_samples=n,
+            rngs=[np.random.default_rng(900 + i) for i in range(len(queries))],
+        )
+        # Identical uniform streams; only BLAS batching order may differ.
+        np.testing.assert_allclose(batched, sequential, rtol=0.05)
+
+    def test_public_api_returns_one_estimate_per_query(self, fitted):
+        _, estimator = fitted
+        queries = [
+            Query.make(["R"], [Predicate("R", "year", ">=", 1995)]),
+            Query.make(["R", "C1"], []),
+        ]
+        out = estimator.estimate_batch(queries, rng=np.random.default_rng(0))
+        assert out.shape == (2,)
+        assert (out >= 0).all()
+
+    def test_column_conditional_matches_full_forward(self, fitted):
+        """The sliced inference fast path computes the same conditionals."""
+        _, estimator = fitted
+        model = estimator.model
+        rng = np.random.default_rng(0)
+        n_cols = model.n_columns
+        tokens = np.column_stack(
+            [rng.integers(0, dom, 64) for dom in model.domains]
+        )
+        wildcard = rng.random((64, n_cols)) < 0.5
+        for col in (0, 1, n_cols // 2, n_cols - 1):
+            full = model.conditional(tokens, col, wildcard)
+            sliced = model.column_conditional(tokens, col, wildcard)
+            np.testing.assert_allclose(sliced, full, rtol=1e-4, atol=1e-7)
+
+    def test_batch_unfitted_raises(self):
+        from tests.core.test_estimator import correlated_schema, small_config
+
+        estimator = NeuroCard(correlated_schema(n_root=20), small_config())
+        with pytest.raises(EstimationError):
+            estimator.estimate_batch([Query.make(["R"])])

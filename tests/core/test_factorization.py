@@ -132,3 +132,40 @@ class TestSetTrie:
         f = Factorizer(64, 2)
         trie = SetTrie(f, np.array([0]))
         assert len(trie.valid((3,), 1)) == 0
+
+    @given(
+        st.integers(8, 600),
+        st.integers(1, 4),
+        st.lists(st.integers(0, 599), min_size=1, max_size=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_walk_matches_valid(self, domain, bits, raw_codes):
+        """codes_at/advance agree with the tuple-keyed valid() view."""
+        codes = sorted({c % domain for c in raw_codes})
+        f = Factorizer(domain, bits)
+        trie = SetTrie(f, np.array(codes))
+        rng = np.random.default_rng(0)
+        n = 16
+        nodes = np.zeros(n, dtype=np.int64)
+        prefixes = [() for _ in range(n)]
+        for k in range(f.n_sub):
+            for i in range(n):
+                by_prefix = trie.valid(prefixes[i], k)
+                by_node = trie.codes_at(int(nodes[i]), k)
+                assert np.array_equal(by_prefix, by_node)
+            drawn = np.array(
+                [rng.choice(trie.codes_at(int(nodes[i]), k)) for i in range(n)],
+                dtype=np.int64,
+            )
+            nodes = trie.advance(nodes, drawn, k)
+            prefixes = [p + (int(d),) for p, d in zip(prefixes, drawn)]
+        decoded = f.decode(np.array(prefixes, dtype=np.int64))
+        assert set(decoded.tolist()) <= set(codes)
+
+    def test_advance_maps_missing_edges_to_root(self):
+        f = Factorizer(64, 2)
+        trie = SetTrie(f, np.array([0, 63]))
+        nodes = np.zeros(2, dtype=np.int64)
+        # Chunk 1 at level 0 is not on any path for codes {0, 63}.
+        out = trie.advance(nodes, np.array([1, 1]), 0)
+        assert (out == 0).all()

@@ -55,7 +55,8 @@ class TestAgainstBruteForce:
         )
         counts = JoinCounts(schema)
         for tables in (["A"], ["A", "B"], ["B", "C"], ["A", "B", "C"]):
-            query = Query.make(tables, [Predicate(tables[0], "x" if tables[0] != "C" else "y", "<=", literal)])
+            column = "x" if tables[0] != "C" else "y"
+            query = Query.make(tables, [Predicate(tables[0], column, "<=", literal)])
             exact = query_cardinality(schema, query, counts=counts)
             brute = brute_force_inner_count(schema, query)
             assert exact == pytest.approx(brute)

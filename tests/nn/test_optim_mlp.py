@@ -35,6 +35,82 @@ class TestAdam:
         opt._clip()
         assert np.sqrt((p.grad**2).sum()) == pytest.approx(1.0, rel=1e-6)
 
+    def test_cosine_decays_to_floor(self):
+        opt = Adam([Parameter("p", np.zeros(1))], lr=1.0, warmup_steps=2,
+                   total_steps=20, min_lr_ratio=0.05)
+        assert opt.lr_at(2) == pytest.approx(1.0)
+        assert opt.lr_at(20) == pytest.approx(0.05)
+        assert opt.lr_at(40) == pytest.approx(0.05)  # clamped past the end
+
+
+class TestScheduleExtension:
+    """Incremental updates reuse the fit() optimizer past total_steps."""
+
+    def _exhausted(self):
+        opt = Adam([Parameter("p", np.zeros(1))], lr=1.0, warmup_steps=2,
+                   total_steps=20, min_lr_ratio=0.05)
+        opt.t = 20  # as if fit() ran the full original schedule
+        return opt
+
+    def test_without_extension_lr_is_stuck_at_floor(self):
+        opt = self._exhausted()
+        assert opt.lr_at(21) == pytest.approx(0.05)
+        assert opt.lr_at(35) == pytest.approx(0.05)
+
+    def test_extension_reanchors_warmup_and_decay(self):
+        opt = self._exhausted()
+        opt.extend_schedule(30)
+        assert opt.total_steps == 50
+        # Fresh warmup ramp, then a real decay segment back down to the floor.
+        assert opt.lr_at(21) == pytest.approx(0.5)
+        assert opt.lr_at(22) == pytest.approx(1.0)
+        mid = opt.lr_at(36)
+        assert 0.05 < mid < 1.0
+        assert opt.lr_at(50) == pytest.approx(0.05)
+        assert opt.lr_at(36) > opt.lr_at(45) > opt.lr_at(50)
+
+    def test_short_extension_skips_warmup_and_still_decays(self):
+        """An update budget shorter than warmup_steps must not spend every
+        step ramping: the segment warmup is capped, leaving a real decay."""
+        opt = self._exhausted()
+        opt.extend_schedule(8)  # 8 // 10 == 0 -> no warmup this segment
+        assert opt.lr_at(21) == pytest.approx(1.0, rel=0.05)
+        assert opt.lr_at(28) == pytest.approx(0.05)
+        assert opt.lr_at(21) > opt.lr_at(24) > opt.lr_at(28)
+
+    def test_extension_noop_for_nonpositive_steps(self):
+        opt = self._exhausted()
+        opt.extend_schedule(0)
+        assert opt.total_steps == 20
+        assert opt.lr_at(21) == pytest.approx(0.05)
+
+    def test_no_decay_optimizer_keeps_constant_lr(self):
+        opt = Adam([Parameter("p", np.zeros(1))], lr=1.0, warmup_steps=0,
+                   total_steps=None)
+        opt.t = 100
+        opt.extend_schedule(10)
+        assert opt.total_steps is None
+        assert opt.lr_at(105) == pytest.approx(1.0)
+
+    def test_neurocard_update_extends_schedule(self):
+        from repro.core.config import NeuroCardConfig
+        from repro.core.estimator import NeuroCard
+        from tests.core.test_estimator import correlated_schema
+
+        schema = correlated_schema(n_root=40)
+        config = NeuroCardConfig(
+            d_emb=4, d_ff=16, n_blocks=1, train_tuples=4096, batch_size=256,
+            progressive_samples=8, sampler_threads=1,
+            exclude_columns=("R.id", "C1.rid", "C2.rid"),
+        )
+        estimator = NeuroCard(schema, config).fit()
+        opt = estimator._optimizer
+        original_total = opt.total_steps
+        assert opt.t == original_total  # fit consumed the whole schedule
+        estimator.update(schema, train_tuples=2048)
+        assert opt.total_steps == original_total + 2048 // 256
+        assert opt._segment_start == original_total
+
 
 class TestMLP:
     def test_fits_linear_function(self):
