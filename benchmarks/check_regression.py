@@ -1,0 +1,92 @@
+"""Benchmark-regression gate: compare smoke-bench reports to a baseline.
+
+Reads the committed ``benchmarks/BENCH_baseline.json`` and one or more
+current report files (each a JSON object with a ``bench`` name, as written
+by ``smoke_latency.py`` / ``smoke_train_throughput.py``). Every baseline
+metric is keyed ``<bench>.<field>`` and carries a reference ``value`` and a
+``direction`` (``higher`` = bigger is better). A metric regresses when it
+is worse than the baseline by more than the tolerance (default 25%, the
+CI gate threshold); a missing metric is also a failure, so renaming a
+report field cannot silently disable the gate.
+
+Ratio metrics (speedups) are machine-relative and carry tight baselines;
+absolute tuples/sec baselines are set conservatively below a developer
+machine's numbers so the gate tracks order-of-magnitude regressions without
+flaking on slower CI runners.
+
+Run:  python benchmarks/check_regression.py \
+          --baseline benchmarks/BENCH_baseline.json \
+          BENCH_smoke_latency.json BENCH_smoke_train_throughput.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def load_reports(paths) -> Dict[str, dict]:
+    reports: Dict[str, dict] = {}
+    for path in paths:
+        with open(path) as f:
+            report = json.load(f)
+        name = report.get("bench")
+        if not name:
+            sys.exit(f"report {path} has no 'bench' name field")
+        reports[name] = report
+    return reports
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", nargs="+", help="current report JSON files")
+    parser.add_argument("--baseline", default="benchmarks/BENCH_baseline.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="override the baseline file's tolerance (fraction, e.g. 0.25)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    tolerance = (
+        args.tolerance if args.tolerance is not None else baseline.get("tolerance", 0.25)
+    )
+    reports = load_reports(args.current)
+
+    failures = []
+    print(f"{'metric':<55} {'baseline':>10} {'current':>10}  status")
+    for key, spec in baseline["metrics"].items():
+        bench, _, field = key.partition(".")
+        ref, direction = spec["value"], spec.get("direction", "higher")
+        report = reports.get(bench)
+        current = None if report is None else report.get(field)
+        if current is None:
+            failures.append(f"{key}: missing from current reports")
+            print(f"{key:<55} {ref:>10} {'—':>10}  MISSING")
+            continue
+        tol = spec.get("tolerance", tolerance)
+        if direction == "higher":
+            regressed = current < ref * (1.0 - tol)
+        else:
+            regressed = current > ref * (1.0 + tol)
+        status = "REGRESSED" if regressed else "ok"
+        if regressed:
+            failures.append(
+                f"{key}: {current} vs baseline {ref} "
+                f"(allowed {'-' if direction == 'higher' else '+'}{tol:.0%})"
+            )
+        print(f"{key:<55} {ref:>10} {current:>10}  {status}")
+
+    if failures:
+        print("\nBenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nBenchmark regression gate passed ({len(baseline['metrics'])} metrics).")
+
+
+if __name__ == "__main__":
+    main()

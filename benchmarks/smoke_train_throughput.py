@@ -1,0 +1,150 @@
+"""CI smoke benchmark: training-pipeline throughput, loop vs vectorized.
+
+Measures the end-to-end sample-and-tokenize pipeline on a scaled-down
+JOB-light schema at the paper-scale batch size (512):
+
+* ``loop``       — per-row :class:`LoopJoinSampler` walk, dict assemble,
+                   per-batch ``Layout.encode_batch`` (the correctness
+                   oracle / pre-vectorization path);
+* ``vectorized`` — ``sample_row_id_matrix`` + ``FusedEncoder`` (one gather
+                   per table, no intermediate dict);
+
+plus full training-step throughput (model forward/backward included) on the
+single-thread fused path and the multi-worker prefetch pool.
+
+The script verifies two acceptance properties and exits non-zero when they
+fail (so CI catches real regressions, not just slow runners):
+
+* pinned-seed NLL trajectories of the fused token path are bitwise
+  identical to the sequential dict-batch oracle;
+* the vectorized pipeline sustains >= 3x the loop sampler's tuples/sec.
+
+Run:  PYTHONPATH=src python benchmarks/smoke_train_throughput.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+
+import numpy as np
+
+from repro.core.encoding import FusedEncoder, Layout
+from repro.core.training import train_autoregressive
+from repro.joins.counts import JoinCounts
+from repro.joins.sampler import (
+    FullJoinSampler,
+    LoopJoinSampler,
+    ThreadedSampler,
+    joined_column_specs,
+)
+from repro.nn.resmade import ResMADE
+from repro.workloads import job_light_schema
+from repro.workloads.imdb import DEFAULT_EXCLUDED_COLUMNS, ImdbScale
+
+from bench_timing import best_of  # noqa: E402  (benchmarks/ on sys.path)
+
+
+def pipeline_tuples_per_sec(draw_and_encode, batch_size: int, n_batches: int) -> float:
+    """Tuples/sec of a sample->tokens pipeline over ``n_batches`` batches."""
+    seconds = best_of(
+        lambda: [draw_and_encode() for _ in range(n_batches)], rounds=3
+    )
+    return n_batches * batch_size / seconds
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_smoke_train_throughput.json")
+    parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument("--n-batches", type=int, default=20)
+    parser.add_argument("--train-tuples", type=int, default=40_960)
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="report only; do not fail on the 3x / bitwise-equality checks",
+    )
+    args = parser.parse_args()
+
+    schema = job_light_schema(ImdbScale(n_title=600))
+    counts = JoinCounts(schema)
+    specs = joined_column_specs(schema, counts, exclude=DEFAULT_EXCLUDED_COLUMNS)
+    vec = FullJoinSampler(schema, counts, specs=specs)
+    loop = LoopJoinSampler(schema, counts, specs=specs)
+    layout = Layout(schema, counts, specs, factorization_bits=14)
+    fused = FusedEncoder(layout, vec)
+    batch = args.batch_size
+
+    # --- sample-and-tokenize pipeline throughput -----------------------
+    rng_loop = np.random.default_rng(0)
+    rng_vec = np.random.default_rng(0)
+    loop_tps = pipeline_tuples_per_sec(
+        lambda: layout.encode_batch(loop.sample_batch(batch, rng_loop)),
+        batch, max(args.n_batches // 4, 2),  # the loop path is slow; fewer reps
+    )
+    vec_tps = pipeline_tuples_per_sec(
+        lambda: fused.encode_row_ids(vec.sample_row_id_matrix(batch, rng_vec)),
+        batch, args.n_batches,
+    )
+
+    # --- full training-step throughput (model included) ----------------
+    def train_once(next_batch, seed=11):
+        model = ResMADE(layout.domains, d_emb=8, d_ff=64, n_blocks=2, seed=7)
+        return model, train_autoregressive(
+            model, layout, next_batch, args.train_tuples, batch,
+            learning_rate=5e-3, seed=seed,
+        )
+
+    rng_a = np.random.default_rng(1)
+    model_a, oracle = train_once(lambda: vec.sample_batch(batch, rng_a))
+    rng_b = np.random.default_rng(1)
+    model_b, fused_run = train_once(
+        lambda: fused.encode_row_ids(vec.sample_row_id_matrix(batch, rng_b))
+    )
+    losses_match = oracle.losses == fused_run.losses and all(
+        np.array_equal(pa.value, pb.value)
+        for pa, pb in zip(model_a.parameters(), model_b.parameters())
+    )
+
+    with ThreadedSampler(
+        vec, batch, n_threads=2, seed=3, encode=fused.encode_row_ids
+    ) as pool:
+        _, pool_run = train_once(pool.get_batch)
+
+    report = {
+        "bench": "smoke_train_throughput",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "batch_size": batch,
+        "loop_pipeline_tuples_per_sec": round(loop_tps, 1),
+        "vectorized_pipeline_tuples_per_sec": round(vec_tps, 1),
+        "sampling_speedup": round(vec_tps / loop_tps, 2),
+        "train_tuples_per_sec": round(fused_run.tuples_per_second, 1),
+        "pool_train_tuples_per_sec": round(pool_run.tuples_per_second, 1),
+        "losses_bitwise_match": bool(losses_match),
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(json.dumps(report, indent=2))
+    print(f"[saved to {args.out}]")
+
+    if not args.no_check:
+        failures = []
+        if not losses_match:
+            failures.append(
+                "fused token path diverged from the sequential dict-batch oracle"
+            )
+        if vec_tps < 3.0 * loop_tps:
+            failures.append(
+                f"vectorized pipeline only {vec_tps / loop_tps:.2f}x the loop "
+                "sampler (need >= 3x)"
+            )
+        if failures:
+            print("FAIL: " + "; ".join(failures), file=sys.stderr)
+            sys.exit(1)
+        print(f"OK: {vec_tps / loop_tps:.1f}x loop sampler, losses bitwise-identical")
+
+
+if __name__ == "__main__":
+    main()

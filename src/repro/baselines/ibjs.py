@@ -115,13 +115,13 @@ class BiasedJoinSampler(FullJoinSampler):
     high-fanout subtrees — the systematic bias ablated in Table 5 (A).
     """
 
-    def _fill(self, out, positions, rng):
-        m = len(positions)
+    def _fill_matrix(self, matrix, rng):
+        m = len(matrix)
         n_root = self.schema.table(self.schema.root).n_rows
-        out[self.schema.root][positions] = rng.integers(0, n_root, size=m)
+        matrix[:, self._tindex[self.schema.root]] = rng.integers(0, n_root, size=m)
         for edge in self._edges_topdown:
             ops = self.counts.edge_ops[edge.name]
-            parents = out[edge.parent][positions]
+            parents = matrix[:, self._tindex[edge.parent]]
             child = np.full(m, -1, dtype=np.int64)
             real = parents >= 0
             groups = np.where(real, ops.parent_group_idx[np.maximum(parents, 0)], -1)
@@ -133,4 +133,4 @@ class BiasedJoinSampler(FullJoinSampler):
                     np.int64
                 )
                 child[hit] = ops.child_groups.row_ids[np.minimum(pick, ends - 1)]
-            out[edge.child][positions] = child
+            matrix[:, self._tindex[edge.child]] = child

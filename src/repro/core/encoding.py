@@ -5,6 +5,12 @@ column universe (:func:`repro.joins.sampler.joined_column_specs`) and the
 model's token columns: per-spec vocabularies (content columns reuse their
 dictionary code space; fanouts get a compact value vocabulary), and the
 lossless factorization of large content domains into subcolumns (§5).
+
+``FusedEncoder`` is the training hot path: it fuses
+:meth:`FullJoinSampler.assemble` and :meth:`Layout.encode_batch` into one
+gather per table by pre-tokenizing every base-table row (content chunks,
+indicator, fanout codes) into a lookup table with a trailing ⊥ row, so a
+sampled ``(batch, n_tables)`` row-id matrix maps straight to model tokens.
 """
 
 from __future__ import annotations
@@ -17,7 +23,8 @@ import numpy as np
 from repro.core.factorization import Factorizer
 from repro.errors import EstimationError
 from repro.joins.counts import JoinCounts
-from repro.joins.sampler import ColumnSpec, SampleBatch
+from repro.joins.sampler import ColumnSpec, FullJoinSampler, SampleBatch
+from repro.relational.column import NULL_CODE
 from repro.relational.schema import JoinSchema
 
 
@@ -136,3 +143,77 @@ class Layout:
         key = "_".join(edge.columns_of(table))
         name = f"__fanout_{table}.{key}"
         return name if name in self.spec_ranges else None
+
+
+class FusedEncoder:
+    """Batched row-ids -> model tokens in one gather per table.
+
+    Precomputes, per table, the token values of all its model columns for
+    every base-table row plus one trailing ⊥ row (content columns factorized
+    through the layout's :class:`Factorizer`, indicators as the constant 1,
+    fanouts through the :class:`FanoutEncoder`). Encoding a sampled
+    ``(batch, n_tables)`` row-id matrix is then a single fancy-index lookup
+    per table — no intermediate :data:`SampleBatch` dict, no per-batch
+    factorization arithmetic. Output is bit-identical to
+    ``layout.encode_batch(sampler.assemble(rows))``.
+    """
+
+    def __init__(self, layout: Layout, sampler: FullJoinSampler):
+        if [s.name for s in layout.specs] != [s.name for s in sampler.specs]:
+            raise EstimationError(
+                "layout and sampler disagree on the column universe"
+            )
+        self.layout = layout
+        self.n_tables = len(sampler.table_order)
+        specs_of: Dict[str, List[ColumnSpec]] = {t: [] for t in sampler.table_order}
+        for spec in layout.specs:
+            specs_of[spec.table].append(spec)
+
+        #: per table: (matrix column index, model column indices, LUT). The
+        #: LUT has ``n_rows + 1`` rows; the last row tokenizes the ⊥ tuple.
+        self._tables: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        for tidx, tname in enumerate(sampler.table_order):
+            specs = specs_of[tname]
+            if not specs:
+                continue
+            table = layout.schema.table(tname)
+            cols: List[int] = []
+            blocks: List[np.ndarray] = []
+            null_blocks: List[np.ndarray] = []
+            for spec in specs:
+                start, end = layout.spec_ranges[spec.name]
+                cols.extend(range(start, end))
+                if spec.kind == "content":
+                    factorizer = layout.factorizers[spec.name]
+                    blocks.append(factorizer.encode(table.codes(spec.column)))
+                    null_blocks.append(
+                        factorizer.encode(np.array([NULL_CODE], dtype=np.int64))
+                    )
+                elif spec.kind == "indicator":
+                    blocks.append(np.ones((table.n_rows, 1), dtype=np.int64))
+                    null_blocks.append(np.zeros((1, 1), dtype=np.int64))
+                else:
+                    encoder = layout.fanout_encoders[spec.name]
+                    raw = sampler.counts.edge_ops[spec.edge_name].fanout_of(spec.table)
+                    blocks.append(encoder.encode(raw).reshape(-1, 1))
+                    null_blocks.append(
+                        encoder.encode(np.array([1], dtype=np.int64)).reshape(1, 1)
+                    )
+            lut = np.vstack(
+                [np.concatenate(blocks, axis=1), np.concatenate(null_blocks, axis=1)]
+            )
+            self._tables.append((tidx, np.array(cols, dtype=np.intp), lut))
+
+    def encode_row_ids(self, row_matrix: np.ndarray) -> np.ndarray:
+        """``(B, n_tables)`` sampled row ids -> ``(B, n_model_columns)`` tokens."""
+        if row_matrix.ndim != 2 or row_matrix.shape[1] != self.n_tables:
+            raise EstimationError(
+                f"expected a (batch, {self.n_tables}) row-id matrix, "
+                f"got shape {row_matrix.shape}"
+            )
+        tokens = np.empty((len(row_matrix), self.layout.n_columns), dtype=np.int64)
+        for tidx, cols, lut in self._tables:
+            r = row_matrix[:, tidx]
+            idx = np.where(r >= 0, r, len(lut) - 1)
+            tokens[:, cols] = lut[idx]
+        return tokens

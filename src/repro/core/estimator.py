@@ -20,7 +20,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.config import NeuroCardConfig
-from repro.core.encoding import Layout
+from repro.core.encoding import FusedEncoder, Layout
 from repro.core.progressive import ProgressiveSampler
 from repro.core.training import TrainResult, train_autoregressive
 from repro.errors import EstimationError, SchemaError
@@ -91,10 +91,15 @@ class NeuroCard:
             # steps get a fresh warmup+decay segment instead of sitting at
             # the floor of the (already exhausted) original cosine.
             self._optimizer.extend_schedule(max(n_tuples // cfg.batch_size, 1))
+        # Fused sampling+tokenization: batches arrive as ready token
+        # matrices, drawn and encoded in one vectorized pass (and, on the
+        # threaded path, produced off the training thread). Rebuilt per
+        # train call because updates swap in new snapshot tables.
+        fused = FusedEncoder(self.layout, self.sampler)
         if cfg.sampler_threads > 1:
             with ThreadedSampler(
                 self.sampler, cfg.batch_size, n_threads=cfg.sampler_threads,
-                seed=cfg.seed,
+                seed=cfg.seed, encode=fused.encode_row_ids,
             ) as threaded:
                 result = train_autoregressive(
                     self.model, self.layout, threaded.get_batch,
@@ -105,7 +110,9 @@ class NeuroCard:
             rng = np.random.default_rng(cfg.seed)
             result = train_autoregressive(
                 self.model, self.layout,
-                lambda: self.sampler.sample_batch(cfg.batch_size, rng),
+                lambda: fused.encode_row_ids(
+                    self.sampler.sample_row_id_matrix(cfg.batch_size, rng)
+                ),
                 n_tuples, cfg.batch_size, cfg.learning_rate,
                 cfg.wildcard_skipping, cfg.seed, optimizer=self._optimizer,
             )

@@ -27,3 +27,7 @@ class EstimationError(ReproError):
 
 class DataError(ReproError):
     """Base-table data is malformed (length mismatch, bad dtype, bad NULLs)."""
+
+
+class SamplerError(ReproError):
+    """The background sampling pool failed (worker died, drained, timed out)."""

@@ -2,7 +2,8 @@
 
 Implements §4 of the paper: the join-count dynamic program over the full
 outer join (`JoinCounts`), the uniform i.i.d. sampler with virtual columns
-(`FullJoinSampler`, `ThreadedSampler`), and — as the evaluation oracle — a
+(`FullJoinSampler` with its per-row `LoopJoinSampler` oracle, the
+`ThreadedSampler` prefetch pool), and — as the evaluation oracle — a
 Yannakakis-style exact cardinality executor (`query_cardinality`).
 """
 
@@ -11,6 +12,7 @@ from repro.joins.executor import inner_join_count, query_cardinality, query_sele
 from repro.joins.sampler import (
     ColumnSpec,
     FullJoinSampler,
+    LoopJoinSampler,
     SampleBatch,
     ThreadedSampler,
     joined_column_specs,
@@ -19,6 +21,7 @@ from repro.joins.sampler import (
 __all__ = [
     "JoinCounts",
     "FullJoinSampler",
+    "LoopJoinSampler",
     "ThreadedSampler",
     "SampleBatch",
     "ColumnSpec",

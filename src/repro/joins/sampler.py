@@ -8,20 +8,29 @@ probability proportional to the child's own join count. Virtual columns —
 per-table indicators and per-(table, edge) fanouts (§6) — are appended on
 the fly, exactly as the paper tasks the sampler to do.
 
+The hot path is fully array-based: ``sample_row_id_matrix`` draws a whole
+``(batch, n_tables)`` row-id matrix per call, tracking unresolved orphan
+fragments as an integer table-index array (no per-row control flow).
+``LoopJoinSampler`` keeps the per-row scalar walk as the correctness oracle
+and as the baseline for the training-throughput benchmarks.
+
 ``ThreadedSampler`` reproduces the paper's parallel sampling setup (§7.4,
-Fig. 7b): producer threads fill a bounded queue of batches.
+Fig. 7b) as a multi-worker prefetch pool: producer threads fill a bounded
+queue (backpressure), optionally tokenizing batches in the worker, and a
+worker failure surfaces as :class:`SamplerError` instead of a hang.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import DataError
+from repro.errors import DataError, SamplerError
 from repro.joins.counts import JoinCounts
 from repro.relational.column import NULL_CODE
 from repro.relational.schema import JoinSchema
@@ -143,12 +152,17 @@ class FullJoinSampler:
             )
             for e in self._edges_topdown
         }
-        # Fragment descent weights: for each table, the NF values of its
-        # children (in child_edges order) — used when an orphan fragment is
-        # known to live strictly below a table.
+        self._tindex = {t: j for j, t in enumerate(self._order)}
+        # Fragment descent weights: for each table, the table *indices* of
+        # its children (in child_edges order) and the cumulative NF values —
+        # used when an orphan fragment is known to live strictly below a
+        # table. Integer indices keep fragment routing pure array ops.
         self._descend = {
             t: (
-                [e.child for e in schema.child_edges(t)],
+                np.array(
+                    [self._tindex[e.child] for e in schema.child_edges(t)],
+                    dtype=np.int64,
+                ),
                 np.cumsum(
                     [self.counts.null_fragments[e.child] for e in schema.child_edges(t)]
                 ),
@@ -165,38 +179,44 @@ class FullJoinSampler:
     def column_names(self) -> List[str]:
         return [s.name for s in self.specs]
 
-    # ------------------------------------------------------------------
-    def sample_row_ids(self, n: int, rng: np.random.Generator) -> Dict[str, np.ndarray]:
-        """Sample ``n`` full-join rows; per table, row ids with -1 meaning ⊥.
+    @property
+    def table_order(self) -> List[str]:
+        """Column order of :meth:`sample_row_id_matrix` (schema BFS order)."""
+        return list(self._order)
 
-        Each full-join tuple is drawn with probability 1/|J| (simple random
-        sample with replacement): either a row with a real root tuple, or an
-        orphan fragment whose shallowest real tuple lives in some subtree.
+    # ------------------------------------------------------------------
+    def sample_row_id_matrix(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``n`` full-join rows as an ``(n, n_tables)`` id matrix.
+
+        Column ``j`` holds row ids of ``table_order[j]``; -1 means the
+        virtual ⊥ tuple. Each full-join tuple is drawn with probability
+        1/|J| (simple random sample with replacement): either a row with a
+        real root tuple, or an orphan fragment whose shallowest real tuple
+        lives in some subtree.
         """
         if n <= 0:
             raise DataError("sample size must be positive")
-        out = {t: np.full(n, -1, dtype=np.int64) for t in self._order}
-        self._fill(out, np.arange(n), rng)
-        return out
+        matrix = np.full((n, len(self._order)), -1, dtype=np.int64)
+        self._fill_matrix(matrix, rng)
+        return matrix
 
-    def _pick_fragment_child(
-        self, table: str, count: int, offset: np.ndarray, rng: np.random.Generator
-    ) -> np.ndarray:
-        """Choose which child subtree of ``table`` carries each fragment.
+    def sample_row_ids(self, n: int, rng: np.random.Generator) -> Dict[str, np.ndarray]:
+        """Sample ``n`` full-join rows; per table, row ids with -1 meaning ⊥."""
+        return self.row_ids_as_dict(self.sample_row_id_matrix(n, rng))
 
-        ``offset`` holds residual weights already scaled into the children's
-        cumulative NF range. Returns indices into ``child_edges(table)``.
+    def row_ids_as_dict(self, matrix: np.ndarray) -> Dict[str, np.ndarray]:
+        """Per-table column views of a :meth:`sample_row_id_matrix` result."""
+        return {t: matrix[:, j] for j, t in enumerate(self._order)}
+
+    def _fill_matrix(self, matrix: np.ndarray, rng: np.random.Generator) -> None:
+        """Fill a pre-allocated ``(m, n_tables)`` matrix of -1s in place.
+
+        The override point for alternative sampling distributions (e.g. the
+        biased IBJS-style sampler of the Table 5 ablation).
         """
-        _children, cum = self._descend[table]
-        idx = np.searchsorted(cum, offset, side="left")
-        return np.minimum(idx, len(cum) - 1)
-
-    def _fill(
-        self, out: Dict[str, np.ndarray], positions: np.ndarray, rng: np.random.Generator
-    ) -> None:
-        m = len(positions)
+        m = len(matrix)
         root = self.schema.root
-        root_children, root_cum = self._descend[root]
+        root_child_idx, root_cum = self._descend[root]
         fragment_total = float(root_cum[-1]) if len(root_cum) else 0.0
         total = self._root_rows_total + fragment_total
         if total <= 0:
@@ -207,19 +227,21 @@ class FullJoinSampler:
         if real.any():
             idx = np.searchsorted(self._root_cumw, targets[real], side="right")
             root_rows[real] = np.minimum(idx, len(self._root_cumw) - 1)
-        out[root][positions] = root_rows
+        matrix[:, self._tindex[root]] = root_rows
 
-        # fragment[i] = table whose subtree carries position i's orphan
-        # fragment ('' = none). Set for rows without a real root tuple.
-        fragment = np.full(m, "", dtype=object)
+        # fragment[i] = index of the table whose subtree carries row i's
+        # orphan fragment (-1 = none). Set for rows without a real root.
+        fragment = np.full(m, -1, dtype=np.int64)
         if (~real).any():
             residual = targets[~real] - self._root_rows_total
-            pick = self._pick_fragment_child(root, int((~real).sum()), residual, rng)
-            fragment[~real] = np.array(root_children, dtype=object)[pick]
+            pick = np.minimum(
+                np.searchsorted(root_cum, residual, side="left"), len(root_cum) - 1
+            )
+            fragment[~real] = root_child_idx[pick]
 
         for edge in self._edges_topdown:
             state = self._edge_state[edge.name]
-            parents = out[edge.parent][positions]
+            parents = matrix[:, self._tindex[edge.parent]]
             child = np.full(m, -1, dtype=np.int64)
 
             real_parent = parents >= 0
@@ -239,10 +261,11 @@ class FullJoinSampler:
                     tmp[hit] = chosen
                     child[real_parent] = tmp
 
-            carries = fragment == edge.child
+            child_t = self._tindex[edge.child]
+            carries = fragment == child_t
             if carries.any():
                 k = int(carries.sum())
-                _desc_children, desc_cum = self._descend[edge.child]
+                desc_child_idx, desc_cum = self._descend[edge.child]
                 deeper_total = float(desc_cum[-1]) if len(desc_cum) else 0.0
                 total_here = state.orphan_total + deeper_total
                 u = (1.0 - rng.random(k)) * total_here
@@ -256,18 +279,17 @@ class FullJoinSampler:
                     picked[take_orphan] = state.orphan_rows[oidx]
                 child[carries] = picked
                 # Resolve or push the fragment one level down.
-                new_fragment = np.full(k, "", dtype=object)
+                new_fragment = np.full(k, -1, dtype=np.int64)
                 if (~take_orphan).any():
                     residual = u[~take_orphan] - state.orphan_total
-                    pick = self._pick_fragment_child(
-                        edge.child, int((~take_orphan).sum()), residual, rng
+                    pick = np.minimum(
+                        np.searchsorted(desc_cum, residual, side="left"),
+                        len(desc_cum) - 1,
                     )
-                    new_fragment[~take_orphan] = np.array(
-                        _desc_children, dtype=object
-                    )[pick]
+                    new_fragment[~take_orphan] = desc_child_idx[pick]
                 fragment[carries] = new_fragment
 
-            out[edge.child][positions] = child
+            matrix[:, child_t] = child
 
     # ------------------------------------------------------------------
     def assemble(self, rows: Dict[str, np.ndarray]) -> SampleBatch:
@@ -290,6 +312,64 @@ class FullJoinSampler:
     def sample_batch(self, n: int, rng: np.random.Generator) -> SampleBatch:
         """Draw ``n`` uniform full-join tuples as model-ready columns."""
         return self.assemble(self.sample_row_ids(n, rng))
+
+
+class LoopJoinSampler(FullJoinSampler):
+    """Per-row reference sampler: one scalar top-down walk per tuple.
+
+    Implements exactly the distribution of :class:`FullJoinSampler` with
+    per-row Python control flow (the pre-vectorization code path). It is the
+    correctness oracle for the vectorized matrix sampler — equivalence tests
+    compare row-id distributions under pinned seeds — and the baseline that
+    ``benchmarks/smoke_train_throughput.py`` measures speedups against.
+    """
+
+    def _fill_matrix(self, matrix: np.ndarray, rng: np.random.Generator) -> None:
+        _, root_cum = self._descend[self.schema.root]
+        fragment_total = float(root_cum[-1]) if len(root_cum) else 0.0
+        if self._root_rows_total + fragment_total <= 0:
+            raise DataError("full join is empty; nothing to sample")
+        for row in matrix:
+            self._sample_one(row, rng)
+
+    def _sample_one(self, row: np.ndarray, rng: np.random.Generator) -> None:
+        root = self.schema.root
+        root_child_idx, root_cum = self._descend[root]
+        fragment_total = float(root_cum[-1]) if len(root_cum) else 0.0
+        target = rng.random() * (self._root_rows_total + fragment_total)
+        fragment = -1
+        if target < self._root_rows_total:
+            j = int(np.searchsorted(self._root_cumw, target, side="right"))
+            row[self._tindex[root]] = min(j, len(self._root_cumw) - 1)
+        else:
+            j = int(np.searchsorted(root_cum, target - self._root_rows_total, side="left"))
+            fragment = int(root_child_idx[min(j, len(root_cum) - 1)])
+
+        for edge in self._edges_topdown:
+            state = self._edge_state[edge.name]
+            parent = int(row[self._tindex[edge.parent]])
+            child_t = self._tindex[edge.child]
+            child = -1
+            if parent >= 0:
+                g = int(state.parent_group_idx[parent])
+                if g >= 0:
+                    u = 1.0 - rng.random()
+                    target = state.group_base[g] + u * state.group_total[g]
+                    j = int(np.searchsorted(state.flat_cumw, target, side="left"))
+                    j = min(max(j, int(state.group_start[g])), int(state.group_end[g]) - 1)
+                    child = int(state.sorted_rows[j])
+            elif fragment == child_t:
+                desc_child_idx, desc_cum = self._descend[edge.child]
+                deeper_total = float(desc_cum[-1]) if len(desc_cum) else 0.0
+                u = (1.0 - rng.random()) * (state.orphan_total + deeper_total)
+                if u <= state.orphan_total:
+                    j = int(np.searchsorted(state.orphan_cumw, u, side="left"))
+                    child = int(state.orphan_rows[min(j, len(state.orphan_rows) - 1)])
+                    fragment = -1
+                else:
+                    j = int(np.searchsorted(desc_cum, u - state.orphan_total, side="left"))
+                    fragment = int(desc_child_idx[min(j, len(desc_cum) - 1)])
+            row[child_t] = child
 
 
 class InnerJoinSampler:
@@ -353,12 +433,24 @@ class InnerJoinSampler:
 
 
 class ThreadedSampler:
-    """Multi-threaded batch producer over a :class:`FullJoinSampler`.
+    """Multi-worker prefetch pool over a :class:`FullJoinSampler`.
 
     Mirrors the paper's background sampling threads (§2.2, Fig. 7b):
-    ``n_threads`` producers push batches into a bounded queue; the training
-    loop consumes with :meth:`get_batch`. Each thread owns an independent
+    ``n_threads`` producers push batches into a bounded queue (backpressure:
+    producers block while ``max_queued`` batches are pending); the training
+    loop consumes with :meth:`get_batch`. Each worker owns an independent
     seeded generator, so samples stay i.i.d. regardless of thread count.
+
+    ``encode`` moves per-batch post-processing into the workers: it maps the
+    drawn ``(batch, n_tables)`` row-id matrix to the payload ``get_batch``
+    returns (the fused tokenize path hands it a
+    :meth:`repro.core.encoding.FusedEncoder.encode_row_ids`). Without it,
+    workers produce assembled :data:`SampleBatch` dicts.
+
+    A worker failure is recorded and re-raised from :meth:`get_batch` as
+    :class:`SamplerError` — consumers fail fast instead of hanging until
+    timeout. :meth:`close` is idempotent and drains the queue so blocked
+    producers shut down promptly.
     """
 
     def __init__(
@@ -368,36 +460,87 @@ class ThreadedSampler:
         n_threads: int = 4,
         seed: int = 0,
         max_queued: int = 16,
+        encode: Optional[Callable[[np.ndarray], object]] = None,
     ):
         self.sampler = sampler
         self.batch_size = batch_size
-        self._queue: "queue.Queue[SampleBatch]" = queue.Queue(maxsize=max_queued)
+        self._encode = encode
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=max_queued)
         self._stop = threading.Event()
+        self._closed = False
+        self._failure: Optional[BaseException] = None
+        self._failed = threading.Event()
         seeds = np.random.SeedSequence(seed).spawn(n_threads)
         self._threads = [
-            threading.Thread(target=self._produce, args=(np.random.default_rng(s),), daemon=True)
+            threading.Thread(
+                target=self._produce, args=(np.random.default_rng(s),), daemon=True
+            )
             for s in seeds
         ]
         for t in self._threads:
             t.start()
 
     def _produce(self, rng: np.random.Generator) -> None:
-        while not self._stop.is_set():
-            batch = self.sampler.sample_batch(self.batch_size, rng)
+        try:
             while not self._stop.is_set():
-                try:
-                    self._queue.put(batch, timeout=0.05)
-                    break
-                except queue.Full:
-                    continue
+                rows = self.sampler.sample_row_id_matrix(self.batch_size, rng)
+                if self._encode is not None:
+                    payload = self._encode(rows)
+                else:
+                    payload = self.sampler.assemble(self.sampler.row_ids_as_dict(rows))
+                while not self._stop.is_set():
+                    try:
+                        self._queue.put(payload, timeout=0.05)
+                        break
+                    except queue.Full:
+                        continue
+        except BaseException as exc:  # propagate to the consumer, don't hang it
+            if self._failure is None:
+                self._failure = exc
+            self._failed.set()
 
-    def get_batch(self, timeout: float = 30.0) -> SampleBatch:
-        """Blocking fetch of the next produced batch."""
-        return self._queue.get(timeout=timeout)
+    def _raise_failure(self) -> None:
+        raise SamplerError(
+            f"sampler worker died: {type(self._failure).__name__}: {self._failure}"
+        ) from self._failure
+
+    def get_batch(self, timeout: float = 30.0):
+        """Blocking fetch of the next produced batch.
+
+        Raises :class:`SamplerError` if the pool is closed, a producer died,
+        or nothing arrives within ``timeout`` seconds.
+        """
+        if self._closed:
+            raise SamplerError("sampler pool is closed")
+        deadline = time.monotonic() + timeout
+        while True:
+            if self._failed.is_set():
+                self._raise_failure()
+            try:
+                return self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._failed.is_set():
+                    self._raise_failure()
+                if not any(t.is_alive() for t in self._threads):
+                    raise SamplerError("all sampler workers exited; pool is drained")
+                if time.monotonic() >= deadline:
+                    raise SamplerError(
+                        f"no batch produced within {timeout:.1f}s "
+                        f"({len(self._threads)} workers alive)"
+                    )
 
     def close(self) -> None:
-        """Stop producers and join threads."""
+        """Stop producers and join threads; safe to call repeatedly."""
+        if self._closed:
+            return
+        self._closed = True
         self._stop.set()
+        # Drain so producers blocked on a full queue observe the stop flag.
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
         for t in self._threads:
             t.join(timeout=5.0)
 

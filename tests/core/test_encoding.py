@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.encoding import FanoutEncoder, Layout
+from repro.core.encoding import FanoutEncoder, FusedEncoder, Layout
 from repro.joins.counts import JoinCounts
 from repro.joins.sampler import FullJoinSampler, joined_column_specs
 from tests.helpers import paper_figure4_schema
@@ -87,3 +87,49 @@ class TestLayout:
         _, _, _, layout = make_layout()
         with pytest.raises(EstimationError):
             layout.spec_by_name("nope")
+
+
+class TestFusedEncoder:
+    """The fused row-ids -> tokens gather is bit-identical to
+    assemble() + encode_batch() (the two-pass oracle)."""
+
+    @pytest.mark.parametrize("bits", [None, 1, 2])
+    def test_bitwise_matches_two_pass_encoding(self, bits):
+        schema, counts, specs, layout = make_layout(bits=bits)
+        sampler = FullJoinSampler(schema, counts, specs=specs)
+        fused = FusedEncoder(layout, sampler)
+        matrix = sampler.sample_row_id_matrix(1024, np.random.default_rng(3))
+        expected = layout.encode_batch(
+            sampler.assemble(sampler.row_ids_as_dict(matrix))
+        )
+        assert np.array_equal(fused.encode_row_ids(matrix), expected)
+
+    def test_all_null_fragments_tokenize_like_oracle(self):
+        """Rows where a whole subtree is ⊥ hit the LUT's trailing null row."""
+        schema, counts, specs, layout = make_layout(bits=1)
+        sampler = FullJoinSampler(schema, counts, specs=specs)
+        fused = FusedEncoder(layout, sampler)
+        # Hand-built matrix: root real, everything below ⊥ / orphan mixes.
+        matrix = np.array([[0, -1, -1], [1, 2, 2], [-1, -1, 0]], dtype=np.int64)
+        expected = layout.encode_batch(
+            sampler.assemble(sampler.row_ids_as_dict(matrix))
+        )
+        assert np.array_equal(fused.encode_row_ids(matrix), expected)
+
+    def test_shape_validation(self):
+        from repro.errors import EstimationError
+
+        schema, counts, specs, layout = make_layout()
+        sampler = FullJoinSampler(schema, counts, specs=specs)
+        fused = FusedEncoder(layout, sampler)
+        with pytest.raises(EstimationError):
+            fused.encode_row_ids(np.zeros((4, 99), dtype=np.int64))
+
+    def test_mismatched_universe_rejected(self):
+        from repro.errors import EstimationError
+
+        schema, counts, _specs, layout = make_layout()
+        narrowed = joined_column_specs(schema, counts, exclude=["B.y"])
+        sampler = FullJoinSampler(schema, counts, specs=narrowed)
+        with pytest.raises(EstimationError):
+            FusedEncoder(layout, sampler)

@@ -29,6 +29,23 @@ class TestRoundtrip:
             loaded.estimate(query, rng=rng2)
         )
 
+    def test_estimate_batch_survives_roundtrip(self, trained, tmp_path):
+        """A reloaded estimator feeds the batched serving path unchanged."""
+        schema, estimator = trained
+        path = save_model(estimator, tmp_path / "batched.npz")
+        loaded = load_model(path, schema)
+        queries = [
+            Query.make(["R", "C1"], [Predicate("C1", "kind", "=", 1)]),
+            Query.make(["R"], [Predicate("R", "year", ">=", 1995)]),
+            Query.make(["R", "C2"], [Predicate("C2", "score", "<=", 10)]),
+        ]
+        before = estimator.estimate_batch(queries, rng=np.random.default_rng(13))
+        after = loaded.estimate_batch(queries, rng=np.random.default_rng(13))
+        assert before.shape == after.shape == (3,)
+        assert np.all(np.isfinite(after)) and np.all(after >= 0)
+        # Identical weights + pinned streams -> identical batched estimates.
+        np.testing.assert_allclose(before, after, rtol=1e-9)
+
     def test_weights_identical(self, trained, tmp_path):
         schema, estimator = trained
         path = save_model(estimator, tmp_path / "m.npz")

@@ -6,8 +6,14 @@ import numpy as np
 import pytest
 from scipy import stats
 
+from repro.errors import SamplerError
 from repro.joins.counts import JoinCounts
-from repro.joins.sampler import FullJoinSampler, ThreadedSampler, joined_column_specs
+from repro.joins.sampler import (
+    FullJoinSampler,
+    LoopJoinSampler,
+    ThreadedSampler,
+    joined_column_specs,
+)
 from repro.relational.schema import JoinEdge, JoinSchema
 from repro.relational.table import Table
 from tests.helpers import brute_force_full_join, paper_figure4_schema
@@ -78,6 +84,87 @@ class TestUniformity:
         assert not all_null.any()
 
 
+def star_with_nulls_schema():
+    r = Table.from_dict("R", {"id": [1, 2, 3]})
+    c1 = Table.from_dict("C1", {"rid": [1, 1, 9]})  # 9 is an orphan
+    c2 = Table.from_dict("C2", {"rid": [2, None]})
+    return JoinSchema(
+        tables={"R": r, "C1": c1, "C2": c2},
+        edges=[
+            JoinEdge("R", "C1", (("id", "rid"),)),
+            JoinEdge("R", "C2", (("id", "rid"),)),
+        ],
+        root="R",
+    )
+
+
+class TestMatrixSampler:
+    def test_matrix_and_dict_share_one_stream(self):
+        """sample_row_ids is exactly the matrix draw viewed per table."""
+        schema = paper_figure4_schema()
+        sampler = FullJoinSampler(schema)
+        matrix = sampler.sample_row_id_matrix(777, np.random.default_rng(11))
+        rows = sampler.sample_row_ids(777, np.random.default_rng(11))
+        assert matrix.shape == (777, len(schema.tables))
+        for j, table in enumerate(sampler.table_order):
+            assert np.array_equal(matrix[:, j], rows[table])
+
+    def test_table_order_is_bfs(self):
+        schema = paper_figure4_schema()
+        assert FullJoinSampler(schema).table_order == schema.bfs_order()
+
+    def test_nonpositive_size_rejected(self):
+        from repro.errors import DataError
+
+        sampler = FullJoinSampler(paper_figure4_schema())
+        with pytest.raises(DataError):
+            sampler.sample_row_id_matrix(0, np.random.default_rng(0))
+
+
+class TestLoopOracleEquivalence:
+    """The per-row loop oracle and the vectorized matrix sampler draw the
+    same row-id distribution under pinned seeds (satellite: sampler
+    equivalence)."""
+
+    @pytest.mark.parametrize("make_schema", [paper_figure4_schema, star_with_nulls_schema])
+    def test_same_support_and_distribution(self, make_schema):
+        schema = make_schema()
+        order = schema.bfs_order()
+        n = 20_000
+        vec = FullJoinSampler(schema)
+        loop = LoopJoinSampler(schema)
+        vec_rows = vec.sample_row_ids(n, np.random.default_rng(5))
+        loop_rows = loop.sample_row_ids(n, np.random.default_rng(6))
+        vec_counts = Counter(row_signature(vec_rows, i, order) for i in range(n))
+        loop_counts = Counter(row_signature(loop_rows, i, order) for i in range(n))
+
+        brute = brute_force_full_join(schema)
+        expected_keys = {
+            tuple(-1 if r[t] is None else r[t] for t in order) for r in brute
+        }
+        assert set(vec_counts) == expected_keys
+        assert set(loop_counts) == expected_keys
+
+        # Homogeneity chi-square: both samplers draw from one distribution.
+        keys = sorted(expected_keys)
+        table = np.array(
+            [[vec_counts[k] for k in keys], [loop_counts[k] for k in keys]]
+        )
+        _, p_value, _, _ = stats.chi2_contingency(table)
+        assert p_value > 1e-4
+
+    def test_loop_assembles_identical_columns(self):
+        """Same row ids -> same virtual columns through either class."""
+        schema = paper_figure4_schema()
+        vec = FullJoinSampler(schema)
+        loop = LoopJoinSampler(schema)
+        rows = loop.sample_row_ids(512, np.random.default_rng(9))
+        a, b = vec.assemble(rows), loop.assemble(rows)
+        assert set(a) == set(b)
+        for name in a:
+            assert np.array_equal(a[name], b[name])
+
+
 class TestVirtualColumns:
     def test_specs_ordering(self):
         schema = paper_figure4_schema()
@@ -135,6 +222,13 @@ class TestVirtualColumns:
         assert "B.y" not in [s.name for s in specs]
 
 
+class _ExplodingSampler(FullJoinSampler):
+    """Worker-side failure injection for the pool's death-detection tests."""
+
+    def sample_row_id_matrix(self, n, rng):
+        raise RuntimeError("disk on fire")
+
+
 class TestThreadedSampler:
     def test_threads_produce_valid_batches(self):
         schema = paper_figure4_schema()
@@ -143,3 +237,44 @@ class TestThreadedSampler:
             batch = threaded.get_batch()
         assert set(batch) == set(sampler.column_names())
         assert all(len(v) == 64 for v in batch.values())
+
+    def test_worker_encode_produces_token_batches(self):
+        """The fused path runs inside workers: payloads arrive pre-encoded."""
+        schema = paper_figure4_schema()
+        sampler = FullJoinSampler(schema)
+        encode = lambda rows: rows * 2  # stand-in for FusedEncoder.encode_row_ids
+        with ThreadedSampler(
+            sampler, batch_size=32, n_threads=2, seed=7, encode=encode
+        ) as threaded:
+            batch = threaded.get_batch()
+        assert isinstance(batch, np.ndarray)
+        assert batch.shape == (32, len(schema.tables))
+        assert (batch % 2 == 0).all()
+
+    def test_dead_producer_raises_instead_of_hanging(self):
+        sampler = _ExplodingSampler(paper_figure4_schema())
+        with ThreadedSampler(sampler, batch_size=16, n_threads=2, seed=1) as threaded:
+            with pytest.raises(SamplerError, match="disk on fire"):
+                threaded.get_batch(timeout=10.0)
+
+    def test_close_is_idempotent_and_fails_fast_afterwards(self):
+        sampler = FullJoinSampler(paper_figure4_schema())
+        threaded = ThreadedSampler(sampler, batch_size=16, n_threads=2, seed=2)
+        threaded.get_batch()
+        threaded.close()
+        threaded.close()  # second close is a no-op, not an error
+        with pytest.raises(SamplerError, match="closed"):
+            threaded.get_batch()
+
+    def test_backpressure_bounds_queue(self):
+        sampler = FullJoinSampler(paper_figure4_schema())
+        with ThreadedSampler(
+            sampler, batch_size=8, n_threads=2, seed=3, max_queued=2
+        ) as threaded:
+            import time as _time
+
+            _time.sleep(0.3)  # let producers saturate the bounded queue
+            assert threaded._queue.qsize() <= 2
+            # and the pool still serves fresh batches afterwards
+            for _ in range(5):
+                assert len(threaded.get_batch()["__in_A"]) == 8
