@@ -1,0 +1,258 @@
+"""CI load benchmark: concurrent serving QPS, scheduler vs sequential.
+
+A closed-loop load generator drives the micro-batching scheduler
+(`repro.serving`) with ``--clients`` concurrent threads, each keeping
+``--depth`` requests in flight, against a tiny-config NeuroCard trained on
+a scaled-down JOB-light schema. The baseline is the same request sequence
+through the sequential ``estimate`` loop. Reports QPS, speedup, and
+p50/p95/p99 per-request latency, and writes a ``BENCH_serving_qps.json``
+artifact gated by ``check_regression.py``.
+
+The script verifies three acceptance properties and exits non-zero when
+they fail (``--no-check`` to report only):
+
+* scheduler results are **bitwise-equal** to the sequential path under
+  pinned per-query generators on the deterministic tabular oracle model
+  (whose conditionals are batch-composition invariant);
+* on the trained model, scheduler results match the sequential loop to
+  ``rtol <= 1e-6`` under pinned seeds (the batched engine's sliced
+  forward pass may differ from the full forward in the last float bits);
+* the scheduler sustains >= 3x the sequential QPS at 8 concurrent clients.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serving_qps.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import NeuroCard, NeuroCardConfig
+from repro.core.progressive import ProgressiveSampler
+from repro.joins.counts import JoinCounts
+from repro.relational.predicate import Predicate
+from repro.relational.query import Query
+from repro.relational.schema import JoinEdge, JoinSchema
+from repro.relational.table import Table
+from repro.serving import EstimationService, MicroBatchScheduler
+from repro.workloads import job_light_ranges_queries, job_light_schema
+from repro.workloads.imdb import DEFAULT_EXCLUDED_COLUMNS, ImdbScale
+
+# The tabular oracle lives with the tests (numpy-only, no pytest import);
+# the CI smoke job runs from the repo root with only the package installed.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tests.core.oracle import OracleModel  # noqa: E402
+
+
+def train_tiny_estimator(n_samples: int) -> NeuroCard:
+    schema = job_light_schema(ImdbScale(n_title=600))
+    config = NeuroCardConfig(
+        d_emb=8, d_ff=64, n_blocks=2, factorization_bits=14,
+        batch_size=512, train_tuples=60_000, learning_rate=5e-3,
+        progressive_samples=n_samples, sampler_threads=1,
+        exclude_columns=DEFAULT_EXCLUDED_COLUMNS, seed=0,
+    )
+    return NeuroCard(schema, config).fit()
+
+
+def make_requests(schema, n_requests: int, n_queries: int):
+    """(query, seed) pairs; unique seeds so the result cache cannot hit."""
+    counts = JoinCounts(schema)
+    queries = job_light_ranges_queries(schema, n=n_queries, counts=counts)
+    return [(queries[i % len(queries)], i) for i in range(n_requests)]
+
+
+def run_sequential(inference, requests, n_samples: int):
+    """One-at-a-time baseline; returns (qps, results)."""
+    start = time.perf_counter()
+    results = [
+        inference.estimate(q, n_samples=n_samples, rng=np.random.default_rng(seed))
+        for q, seed in requests
+    ]
+    wall = time.perf_counter() - start
+    return len(requests) / wall, np.array(results)
+
+
+def run_scheduler(scheduler, requests, n_clients: int, depth: int):
+    """Closed-loop clients with ``depth`` requests in flight each.
+
+    Returns (qps, results-in-request-order, per-request amortized latencies).
+    """
+    results = [0.0] * len(requests)
+    latencies: list = []
+    lock = threading.Lock()
+
+    def client(cid: int) -> None:
+        mine = list(range(cid, len(requests), n_clients))
+        local_lat = []
+        for at in range(0, len(mine), depth):
+            window = mine[at:at + depth]
+            t0 = time.perf_counter()
+            futures = [
+                (i, scheduler.submit(requests[i][0], seed=requests[i][1]))
+                for i in window
+            ]
+            for i, future in futures:
+                results[i] = future.result()
+            per_request = (time.perf_counter() - t0) / len(window)
+            local_lat.extend([per_request] * len(window))
+        with lock:
+            latencies.extend(local_lat)
+
+    threads = [
+        threading.Thread(target=client, args=(cid,)) for cid in range(n_clients)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    return len(requests) / wall, np.array(results), np.array(latencies)
+
+
+def oracle_bitwise_check(n_samples: int = 200) -> bool:
+    """Scheduler == sequential, bitwise, on the composition-invariant oracle."""
+    rng = np.random.default_rng(7)
+    years = rng.integers(1990, 1998, 40)
+    root = Table.from_dict(
+        "R", {"id": list(range(40)), "year": [int(y) for y in years]}
+    )
+    child_rows = [
+        (int(rng.integers(0, 40)), int(rng.integers(0, 5))) for _ in range(70)
+    ]
+    child = Table.from_dict(
+        "C", {"rid": [r[0] for r in child_rows], "kind": [r[1] for r in child_rows]}
+    )
+    schema = JoinSchema(
+        tables={"R": root, "C": child},
+        edges=[JoinEdge("R", "C", (("id", "rid"),))],
+        root="R",
+    )
+    oracle = OracleModel(schema, factorization_bits=2, exclude=("R.id", "C.rid"))
+    ps = ProgressiveSampler(oracle, oracle.layout, oracle.full_join_size)
+    queries = [
+        Query.make(["R"], [Predicate("R", "year", ">=", 1994)]),
+        Query.make(["R", "C"], [Predicate("C", "kind", "IN", (0, 2, 4))]),
+        Query.make(["R", "C"], [Predicate("R", "year", "<", 1993)]),
+        Query.make(["C"], [Predicate("C", "kind", "=", 1)]),
+        Query.make(["R", "C"], []),
+    ]
+    sequential = [
+        ps.estimate(q, n_samples=n_samples, rng=np.random.default_rng(100 + i))
+        for i, q in enumerate(queries)
+    ]
+    with MicroBatchScheduler(
+        lambda: (ps, 0), max_batch=3, max_wait_us=500,
+        cache_size=0, n_samples=n_samples,
+    ) as scheduler:
+        futures = [scheduler.submit(q, seed=100 + i) for i, q in enumerate(queries)]
+        coalesced = [f.result() for f in futures]
+    return all(a == b for a, b in zip(sequential, coalesced))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_serving_qps.json")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument(
+        "--depth", type=int, default=2,
+        help="requests each client keeps in flight (closed-loop window)",
+    )
+    parser.add_argument("--requests", type=int, default=256)
+    parser.add_argument("--n-queries", type=int, default=64)
+    parser.add_argument("--n-samples", type=int, default=128)
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-wait-us", type=int, default=2000)
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="report only; do not fail on the 3x / equivalence checks",
+    )
+    args = parser.parse_args()
+
+    start = time.perf_counter()
+    estimator = train_tiny_estimator(args.n_samples)
+    train_seconds = time.perf_counter() - start
+    requests = make_requests(estimator.schema, args.requests, args.n_queries)
+
+    sequential_qps, sequential = run_sequential(
+        estimator.inference, requests, args.n_samples
+    )
+
+    service = EstimationService(
+        max_batch=args.max_batch, max_wait_us=args.max_wait_us,
+        cache_size=0,  # unique seeds anyway; keep the measurement honest
+        n_samples=args.n_samples,
+    )
+    service.register("tiny", estimator)
+    scheduler = service.scheduler("tiny")
+    scheduler_qps, coalesced, latencies = run_scheduler(
+        scheduler, requests, args.clients, args.depth
+    )
+    stats = scheduler.stats()
+    service.close()
+
+    speedup = scheduler_qps / sequential_qps
+    rel_dev = float(
+        np.max(np.abs(coalesced - sequential) / np.maximum(np.abs(sequential), 1e-12))
+    )
+    bitwise = oracle_bitwise_check()
+
+    report = {
+        "bench": "serving_qps",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "train_seconds": round(train_seconds, 2),
+        "clients": args.clients,
+        "depth": args.depth,
+        "n_requests": len(requests),
+        "n_samples": args.n_samples,
+        "max_batch": args.max_batch,
+        "max_wait_us": args.max_wait_us,
+        "mean_batch_size": round(stats["mean_batch_size"], 2),
+        "sequential_qps": round(sequential_qps, 2),
+        "scheduler_qps": round(scheduler_qps, 2),
+        "speedup": round(speedup, 2),
+        "p50_ms": round(float(np.percentile(latencies, 50)) * 1e3, 2),
+        "p95_ms": round(float(np.percentile(latencies, 95)) * 1e3, 2),
+        "p99_ms": round(float(np.percentile(latencies, 99)) * 1e3, 2),
+        "max_rel_dev_vs_sequential": rel_dev,
+        "oracle_bitwise_match": int(bitwise),
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(json.dumps(report, indent=2))
+    print(f"[saved to {args.out}]")
+
+    if args.no_check:
+        return
+    failures = []
+    if not bitwise:
+        failures.append("scheduler is not bitwise-equal to the sequential oracle path")
+    if rel_dev > 1e-6:
+        failures.append(
+            f"trained-model deviation vs sequential {rel_dev:.2e} exceeds 1e-6"
+        )
+    if speedup < 3.0:
+        failures.append(
+            f"scheduler speedup {speedup:.2f}x at {args.clients} clients is below 3x"
+        )
+    if failures:
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"checks passed: bitwise oracle match, rel dev {rel_dev:.1e} <= 1e-6, "
+        f"{speedup:.2f}x >= 3x at {args.clients} clients"
+    )
+
+
+if __name__ == "__main__":
+    main()

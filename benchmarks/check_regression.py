@@ -2,12 +2,20 @@
 
 Reads the committed ``benchmarks/BENCH_baseline.json`` and one or more
 current report files (each a JSON object with a ``bench`` name, as written
-by ``smoke_latency.py`` / ``smoke_train_throughput.py``). Every baseline
-metric is keyed ``<bench>.<field>`` and carries a reference ``value`` and a
-``direction`` (``higher`` = bigger is better). A metric regresses when it
-is worse than the baseline by more than the tolerance (default 25%, the
-CI gate threshold); a missing metric is also a failure, so renaming a
-report field cannot silently disable the gate.
+by ``smoke_latency.py`` / ``smoke_train_throughput.py`` /
+``bench_serving_qps.py``). Every baseline metric is keyed
+``<bench>.<field>`` and carries a reference ``value`` and a ``direction``
+(``higher`` = bigger is better). A metric regresses when it is worse than
+the baseline by more than the tolerance (default 25%, the CI gate
+threshold); a metric missing from a *provided* bench report is also a
+failure, so renaming a report field cannot silently disable the gate.
+
+CI runs the gate per job, each passing only the reports that job produced;
+baseline benches with no report in the invocation are skipped (printed as
+SKIPPED), but a provided report whose bench name matches no baseline
+metric is a hard failure — renaming a report's ``bench`` field cannot
+skip its gate. Pass ``--require-all`` to also fail on absent benches —
+the full local refresh runs all benches and should use it.
 
 Ratio metrics (speedups) are machine-relative and carry tight baselines;
 absolute tuples/sec baselines are set conservatively below a developer
@@ -47,6 +55,10 @@ def main() -> None:
         "--tolerance", type=float, default=None,
         help="override the baseline file's tolerance (fraction, e.g. 0.25)",
     )
+    parser.add_argument(
+        "--require-all", action="store_true",
+        help="fail when a baseline bench has no report at all (full runs)",
+    )
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -57,14 +69,23 @@ def main() -> None:
     reports = load_reports(args.current)
 
     failures = []
+    skipped = 0
     print(f"{'metric':<55} {'baseline':>10} {'current':>10}  status")
     for key, spec in baseline["metrics"].items():
         bench, _, field = key.partition(".")
         ref, direction = spec["value"], spec.get("direction", "higher")
         report = reports.get(bench)
-        current = None if report is None else report.get(field)
+        if report is None:
+            if args.require_all:
+                failures.append(f"{key}: bench {bench!r} has no report")
+                print(f"{key:<55} {ref:>10} {'—':>10}  MISSING")
+            else:
+                skipped += 1
+                print(f"{key:<55} {ref:>10} {'—':>10}  SKIPPED (no {bench} report)")
+            continue
+        current = report.get(field)
         if current is None:
-            failures.append(f"{key}: missing from current reports")
+            failures.append(f"{key}: missing from the {bench} report")
             print(f"{key:<55} {ref:>10} {'—':>10}  MISSING")
             continue
         tol = spec.get("tolerance", tolerance)
@@ -80,12 +101,25 @@ def main() -> None:
             )
         print(f"{key:<55} {ref:>10} {current:>10}  {status}")
 
+    # A provided report whose bench name matches no baseline metric means
+    # the gate checked nothing for it (e.g. the report's 'bench' field was
+    # renamed) — fail loudly instead of silently skipping the whole bench.
+    baseline_benches = {key.partition(".")[0] for key in baseline["metrics"]}
+    for name in reports:
+        if name not in baseline_benches:
+            failures.append(
+                f"report bench {name!r} has no baseline metrics "
+                f"(known: {sorted(baseline_benches)})"
+            )
+
     if failures:
         print("\nBenchmark regression gate FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         sys.exit(1)
-    print(f"\nBenchmark regression gate passed ({len(baseline['metrics'])} metrics).")
+    checked = len(baseline["metrics"]) - skipped
+    note = f", {skipped} skipped (bench not in this invocation)" if skipped else ""
+    print(f"\nBenchmark regression gate passed ({checked} metrics{note}).")
 
 
 if __name__ == "__main__":

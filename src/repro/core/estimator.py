@@ -142,12 +142,18 @@ class NeuroCard:
         queries: Sequence[Query],
         rng: Optional[np.random.Generator] = None,
         n_samples: Optional[int] = None,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
     ) -> np.ndarray:
         """Estimated COUNT(*) for many queries in one packed inference pass.
 
         All queries share one model forward pass per constrained column (the
         batched serving path); results match looping :meth:`estimate` up to
         the per-query Monte Carlo streams. Returns one estimate per query.
+
+        ``rngs`` pins one generator per query; with query ``i`` pinned to the
+        same generator state as a sequential :meth:`estimate` call, the
+        batched result is bitwise-equal to the sequential one (the
+        micro-batching scheduler relies on this for deterministic serving).
         """
         if not self.is_fitted:
             raise EstimationError("call fit() before estimate_batch()")
@@ -157,6 +163,7 @@ class NeuroCard:
                 n_samples if n_samples is not None else self.config.progressive_samples
             ),
             rng=rng if rng is not None else self._rng,
+            rngs=rngs,
         )
 
     # ------------------------------------------------------------------

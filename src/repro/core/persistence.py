@@ -6,6 +6,12 @@ snapshot and reload it without retraining. Only the *model parameters* and
 the architecture/config metadata are serialized (``.npz``); join counts and
 the sampler are cheap to rebuild from the data (seconds, §7.4) and are
 reconstructed on load.
+
+Compatibility is checked *before* any model is built or weights are
+touched: the artifact records every table's column names and dictionary
+domain sizes, so loading against a drifted schema fails with a
+:class:`~repro.errors.PersistenceError` naming the offending column instead
+of a deep shape error inside weight copying.
 """
 
 from __future__ import annotations
@@ -18,10 +24,44 @@ import numpy as np
 
 from repro.core.config import NeuroCardConfig
 from repro.core.estimator import NeuroCard
-from repro.errors import EstimationError
+from repro.errors import EstimationError, PersistenceError, TrainingError
 from repro.relational.schema import JoinSchema
 
-_FORMAT_VERSION = 1
+#: v1 artifacts lack the per-column ``columns`` map; they still load, with
+#: compatibility enforced by the (post-build) layout-domain check only.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+def _schema_columns(schema: JoinSchema) -> dict:
+    """Per-table column name -> dictionary domain size, for compat checks."""
+    return {
+        name: {
+            col: int(table.column(col).domain_size) for col in table.column_names
+        }
+        for name, table in sorted(schema.tables.items())
+    }
+
+
+def _check_columns(schema: JoinSchema, saved: dict) -> None:
+    """Raise :class:`PersistenceError` unless ``schema`` matches ``saved``."""
+    current = _schema_columns(schema)
+    for table, saved_cols in saved.items():
+        cols = current.get(table)
+        if cols is None:
+            raise PersistenceError(f"schema is missing table {table!r} from the artifact")
+        if list(cols) != list(saved_cols):
+            raise PersistenceError(
+                f"table {table!r} columns changed since the model was saved: "
+                f"{list(cols)} != {list(saved_cols)}"
+            )
+        for col, domain in saved_cols.items():
+            if cols[col] != domain:
+                raise PersistenceError(
+                    f"column {table}.{col} dictionary changed since the model "
+                    f"was saved (domain {cols[col]} != {domain}); snapshots "
+                    "must share dictionaries"
+                )
 
 
 def save_model(estimator: NeuroCard, path: str | Path) -> Path:
@@ -40,6 +80,7 @@ def save_model(estimator: NeuroCard, path: str | Path) -> Path:
         "config": config,
         "domains": estimator.layout.domains,
         "tables": sorted(estimator.schema.tables),
+        "columns": _schema_columns(estimator.schema),
     }
     np.savez_compressed(path, __meta__=np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
@@ -52,26 +93,36 @@ def load_model(path: str | Path, schema: JoinSchema) -> NeuroCard:
 
     The schema must be the same logical schema (same tables and column
     dictionaries) the estimator was trained on; join counts, the sampler and
-    the inference layout are rebuilt from it.
+    the inference layout are rebuilt from it. Incompatible schemas and
+    configs are rejected with a :class:`PersistenceError` before any model
+    is built or weights are read.
     """
     with np.load(Path(path) if str(path).endswith(".npz") else f"{path}.npz") as data:
         meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
-        if meta.get("format_version") != _FORMAT_VERSION:
-            raise EstimationError(
+        if meta.get("format_version") not in _SUPPORTED_VERSIONS:
+            raise PersistenceError(
                 f"unsupported model format {meta.get('format_version')!r}"
             )
         if sorted(schema.tables) != meta["tables"]:
-            raise EstimationError(
+            raise PersistenceError(
                 "schema tables do not match the saved estimator: "
                 f"{sorted(schema.tables)} != {meta['tables']}"
             )
+        if "columns" in meta:
+            _check_columns(schema, meta["columns"])
         config_dict = dict(meta["config"])
         config_dict["exclude_columns"] = tuple(config_dict["exclude_columns"])
-        config = NeuroCardConfig(**config_dict)
+        try:
+            config = NeuroCardConfig(**config_dict)
+            config.validate()
+        except (TypeError, ValueError, TrainingError) as exc:
+            raise PersistenceError(
+                f"saved config is not compatible with this build: {exc}"
+            ) from exc
         estimator = NeuroCard(schema, config)
         estimator.fit(train_tuples=1)  # builds counts/layout/model cheaply
         if estimator.layout.domains != meta["domains"]:
-            raise EstimationError(
+            raise PersistenceError(
                 "schema dictionaries do not match the saved estimator "
                 "(column domains differ)"
             )
@@ -81,10 +132,10 @@ def load_model(path: str | Path, schema: JoinSchema) -> NeuroCard:
             key=lambda k: int(k.split("::")[1]),
         )
         if len(keys) != len(params):
-            raise EstimationError("saved parameter count mismatch")
+            raise PersistenceError("saved parameter count mismatch")
         for key, param in zip(keys, params):
             saved = data[key]
             if saved.shape != param.value.shape:
-                raise EstimationError(f"shape mismatch for {param.name}")
+                raise PersistenceError(f"shape mismatch for {param.name}")
             param.value[...] = saved
     return estimator

@@ -98,6 +98,22 @@ class QueryPlan:
     def region_map(self) -> Dict[str, Region]:
         return dict(self.regions)
 
+    def cache_key(self) -> tuple:
+        """Hashable canonical form of this plan.
+
+        Two queries with the same table set and the same per-column valid
+        regions produce equal keys regardless of predicate spelling
+        (``x >= 3 AND x >= 5`` vs ``x >= 5``), so serving-layer result
+        caches can coalesce them. Set regions are keyed by their sorted
+        code bytes; intervals by their inclusive bounds.
+        """
+        regions = tuple(
+            (name, region.kind, region.lo, region.hi,
+             None if region.codes is None else region.codes.tobytes())
+            for name, region in self.regions
+        )
+        return (regions, self.indicators, self.fanouts)
+
 
 # ----------------------------------------------------------------------
 # Per-column programs. One op instance handles one (query, spec) pair and

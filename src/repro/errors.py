@@ -25,6 +25,20 @@ class EstimationError(ReproError):
     """Cardinality estimation failed (e.g. estimator not fitted)."""
 
 
+class PersistenceError(EstimationError):
+    """A saved model artifact is incompatible with the schema/config at hand.
+
+    Subclasses :class:`EstimationError` so pre-existing callers that catch
+    the broader class keep working; raised *before* weight loading so a
+    mismatched snapshot fails with a schema-level message instead of a deep
+    shape error.
+    """
+
+
+class ServingError(ReproError):
+    """The serving layer failed (scheduler closed, unknown model, registry misuse)."""
+
+
 class DataError(ReproError):
     """Base-table data is malformed (length mismatch, bad dtype, bad NULLs)."""
 

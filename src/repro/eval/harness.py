@@ -8,10 +8,17 @@ Estimators exposing ``estimate_batch(queries) -> array`` (NeuroCard's
 batched serving engine) can additionally be evaluated in batches by passing
 ``batch_size``; per-query latency is then the amortized batch latency. The
 sequential path remains the default and the correctness oracle.
+
+Serving front ends exposing ``submit(query) -> Future`` (the
+``repro.serving`` scheduler/service) can be evaluated under concurrent
+load with ``concurrency``: N closed-loop client threads submit queries and
+each query's latency is its own submit-to-result wall time, so the numbers
+reflect micro-batched serving rather than isolated calls.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -66,17 +73,22 @@ def evaluate_estimator(
     queries: Sequence[Query],
     truths: Sequence[float],
     batch_size: Optional[int] = None,
+    concurrency: Optional[int] = None,
 ) -> EstimatorResult:
     """Run ``estimator`` over a workload; collect q-errors/latency.
 
     With ``batch_size`` > 1 and an estimator exposing ``estimate_batch``,
     queries run through the batched engine in chunks and each query's
     latency is its chunk's wall time divided by the chunk size (amortized
-    serving latency). Otherwise queries run one at a time through
-    ``estimate``.
+    serving latency). With ``concurrency`` > 1 and an estimator exposing
+    ``submit`` (a serving scheduler/service), that many closed-loop client
+    threads drive it and each query's latency is its submit-to-result wall
+    time. Otherwise queries run one at a time through ``estimate``.
     """
     result = EstimatorResult(name=name)
     result.size_bytes = getattr(estimator, "size_bytes", None)
+    if concurrency is not None and concurrency > 1 and hasattr(estimator, "submit"):
+        return _evaluate_concurrent(result, estimator, queries, truths, concurrency)
     batched = (
         batch_size is not None and batch_size > 1
         and hasattr(estimator, "estimate_batch")
@@ -101,6 +113,46 @@ def evaluate_estimator(
         result.errors.append(q_error(estimate, truth))
         result.latencies_ms.append(elapsed)
         result.estimates.append(float(estimate))
+        result.truths.append(float(truth))
+    return result
+
+
+def _evaluate_concurrent(
+    result: EstimatorResult,
+    service,
+    queries: Sequence[Query],
+    truths: Sequence[float],
+    concurrency: int,
+) -> EstimatorResult:
+    """Closed-loop clients against a ``submit``-capable serving front end."""
+    n = len(queries)
+    estimates = [0.0] * n
+    latencies = [0.0] * n
+    failures: List[BaseException] = []
+
+    def client(cid: int) -> None:
+        try:
+            for i in range(cid, n, concurrency):
+                start = time.perf_counter()
+                estimates[i] = float(service.submit(queries[i]).result())
+                latencies[i] = (time.perf_counter() - start) * 1e3
+        except BaseException as exc:  # re-raised on the caller's thread
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(cid,)) for cid in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if failures:
+        # Never report fabricated zeros for queries a dead client skipped.
+        raise failures[0]
+    for estimate, latency, truth in zip(estimates, latencies, truths):
+        result.errors.append(q_error(estimate, truth))
+        result.latencies_ms.append(latency)
+        result.estimates.append(estimate)
         result.truths.append(float(truth))
     return result
 

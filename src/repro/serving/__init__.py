@@ -1,0 +1,19 @@
+"""Concurrent estimation service: model registry + micro-batching scheduler.
+
+The serving layer turns many concurrent single-query callers into the
+batched inference fast path:
+
+* :class:`ModelRegistry` — named fitted estimators with lazy artifact
+  loading, size-budgeted eviction, and non-blocking hot-swap/refresh;
+* :class:`MicroBatchScheduler` — coalesces concurrent ``submit(query)``
+  calls into single ``estimate_batch`` invocations (max-batch /
+  max-wait-µs policy) with per-caller futures and a plan-keyed LRU result
+  cache;
+* :class:`EstimationService` — the façade tying both together.
+"""
+
+from repro.serving.registry import ModelRegistry
+from repro.serving.scheduler import MicroBatchScheduler
+from repro.serving.service import EstimationService
+
+__all__ = ["EstimationService", "MicroBatchScheduler", "ModelRegistry"]

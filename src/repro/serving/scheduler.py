@@ -1,0 +1,302 @@
+"""Micro-batching scheduler: N concurrent callers, one batched forward pass.
+
+PR 1's ``estimate_batch`` made *one caller with many queries* fast; this
+module makes *many callers with one query each* fast. Concurrent
+``submit(query)`` calls land in a queue; a background flusher coalesces
+them — up to ``max_batch`` requests, waiting at most ``max_wait_us``
+microseconds from the oldest pending request — into single
+``estimate_batch`` invocations, and each caller gets a
+:class:`concurrent.futures.Future` resolving to its own estimate.
+
+Determinism: a request may pin a ``seed``; its per-query generator is then
+``np.random.default_rng(seed)``, which makes the result bitwise-equal to a
+sequential ``estimate(query, rng=np.random.default_rng(seed))`` call no
+matter which requests it happened to share a batch with (the batched
+engine keeps one uniform-variate stream per query).
+
+Results are cached in an LRU keyed on the *canonicalized plan* —
+``(model version, table set + predicate regions, seed, n_samples)`` — so
+textually different but semantically identical predicates coalesce, and a
+registry hot-swap (version bump) invalidates every stale entry at once.
+
+Failure semantics mirror :class:`~repro.errors.SamplerError`'s fail-fast
+contract: if a batched inference call raises, every future in that batch
+receives the error immediately (no caller blocks forever), and the
+scheduler keeps serving subsequent batches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.relational.query import Query
+
+#: ``source`` contract: returns the current (model, version) pair.
+ModelSource = Callable[[], Tuple[object, int]]
+
+
+@dataclass
+class _Request:
+    query: Query
+    seed: Optional[int]
+    n_samples: Optional[int]
+    future: Future
+    cache_key: Optional[tuple]
+    enqueued_at: float
+
+
+class MicroBatchScheduler:
+    """Thread-safe front door turning concurrent submits into batched inference.
+
+    ``source`` is any zero-arg callable returning ``(model, version)`` —
+    typically ``lambda: registry.get_with_version(name)`` — where ``model``
+    exposes ``estimate_batch(queries, n_samples=..., rngs=...)``. Reading
+    the source *per flush* is what makes registry hot-swaps take effect
+    mid-stream without a restart.
+    """
+
+    def __init__(
+        self,
+        source: ModelSource,
+        *,
+        max_batch: int = 64,
+        max_wait_us: int = 2000,
+        cache_size: int = 1024,
+        n_samples: Optional[int] = None,
+        name: str = "model",
+    ):
+        if max_batch < 1:
+            raise ServingError("max_batch must be >= 1")
+        if max_wait_us < 0:
+            raise ServingError("max_wait_us must be >= 0")
+        if cache_size < 0:
+            raise ServingError("cache_size must be >= 0 (0 disables caching)")
+        self._source = source
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_us / 1e6
+        self.cache_size = cache_size
+        self.n_samples = n_samples
+        self.name = name
+        self._queue: List[_Request] = []
+        self._cache: "OrderedDict[tuple, float]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._closed = False
+        self._rng = np.random.default_rng(0)
+        # Telemetry (reads are approximate; guarded writes only).
+        self.n_requests = 0
+        self.n_batches = 0
+        self.n_cache_hits = 0
+        self.n_flushed_requests = 0
+        self._flusher = threading.Thread(
+            target=self._run, name=f"microbatch-{name}", daemon=True
+        )
+        self._flusher.start()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: Query,
+        *,
+        seed: Optional[int] = None,
+        n_samples: Optional[int] = None,
+    ) -> Future:
+        """Enqueue one query; returns a Future resolving to its COUNT(*) estimate.
+
+        Invalid queries (unknown tables/columns, disconnected join graphs)
+        fail *here*, synchronously, so one bad request never poisons the
+        batch it would have joined.
+        """
+        model, version = self._source()
+        n_samples = n_samples if n_samples is not None else self.n_samples
+        key = self._cache_key(model, version, query, seed, n_samples)
+        future: Future = Future()
+        with self._work:
+            if self._closed:
+                raise ServingError(f"scheduler {self.name!r} is closed")
+            self.n_requests += 1
+            if key is not None and key in self._cache:
+                self._cache.move_to_end(key)
+                self.n_cache_hits += 1
+                future.set_result(self._cache[key])
+                return future
+            self._queue.append(
+                _Request(query, seed, n_samples, future, key, time.perf_counter())
+            )
+            self._work.notify()
+        return future
+
+    def estimate(self, query: Query, *, seed: Optional[int] = None) -> float:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(query, seed=seed).result()
+
+    def estimate_batch(self, queries: Sequence[Query]) -> np.ndarray:
+        """Submit many queries and gather their results (harness adapter)."""
+        futures = [self.submit(q) for q in queries]
+        return np.array([f.result() for f in futures], dtype=np.float64)
+
+    def invalidate(self) -> None:
+        """Drop every cached result (hot-swaps do this implicitly via versions)."""
+        with self._lock:
+            self._cache.clear()
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "requests": self.n_requests,
+                "batches": self.n_batches,
+                "cache_hits": self.n_cache_hits,
+                "cache_size": len(self._cache),
+                "mean_batch_size": (
+                    self.n_flushed_requests / self.n_batches if self.n_batches else 0.0
+                ),
+            }
+
+    def close(self) -> None:
+        """Drain pending requests, stop the flusher. Idempotent."""
+        with self._work:
+            if self._closed:
+                return
+            self._closed = True
+            self._work.notify_all()
+        self._flusher.join()
+
+    def __enter__(self) -> "MicroBatchScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Flusher
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._flush(batch)
+
+    def _next_batch(self) -> Optional[List[_Request]]:
+        """Block until a batch is due; None means closed-and-drained."""
+        with self._work:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._work.wait()
+            deadline = self._queue[0].enqueued_at + self.max_wait_s
+            while len(self._queue) < self.max_batch and not self._closed:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._work.wait(timeout=remaining)
+            batch = self._queue[: self.max_batch]
+            del self._queue[: self.max_batch]
+            return batch
+
+    def _flush(self, batch: List[_Request]) -> None:
+        batch = [r for r in batch if r.future.set_running_or_notify_cancel()]
+        if not batch:
+            return
+        try:
+            model, version = self._source()
+        except BaseException as exc:  # registry failure: fail the whole batch
+            self._fail(batch, exc)
+            return
+        # One estimate_batch per distinct n_samples (the packed token matrix
+        # is rectangular); in steady state every request uses the default.
+        groups: Dict[Optional[int], List[_Request]] = {}
+        for request in batch:
+            groups.setdefault(request.n_samples, []).append(request)
+        for n_samples, requests in groups.items():
+            self._flush_group(model, version, n_samples, requests)
+
+    def _flush_group(
+        self, model, version: int, n_samples: Optional[int], requests: List[_Request]
+    ) -> None:
+        rngs = [
+            np.random.default_rng(r.seed) if r.seed is not None
+            else self._rng.spawn(1)[0]
+            for r in requests
+        ]
+        kwargs = {"rngs": rngs}
+        if n_samples is not None:
+            kwargs["n_samples"] = n_samples
+        try:
+            estimates = model.estimate_batch([r.query for r in requests], **kwargs)
+            if len(estimates) != len(requests):
+                raise ServingError(
+                    f"model returned {len(estimates)} estimates for "
+                    f"{len(requests)} queries"
+                )
+        except BaseException as exc:
+            self._fail(requests, exc)
+            return
+        with self._lock:
+            self.n_batches += 1
+            self.n_flushed_requests += len(requests)
+            for request, estimate in zip(requests, estimates):
+                value = float(estimate)
+                # Re-key under the version actually served: a swap between
+                # submit and flush must not poison the new model's cache.
+                key = request.cache_key
+                if key is not None and self.cache_size > 0:
+                    key = (version,) + key[1:]
+                    self._cache[key] = value
+                    self._cache.move_to_end(key)
+                    while len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
+        # Resolve futures outside the lock: done-callbacks run synchronously
+        # in this thread and may legally re-enter submit().
+        for request, estimate in zip(requests, estimates):
+            request.future.set_result(float(estimate))
+
+    @staticmethod
+    def _fail(requests: List[_Request], exc: BaseException) -> None:
+        for request in requests:
+            request.future.set_exception(exc)
+
+    # ------------------------------------------------------------------
+    def _cache_key(
+        self,
+        model,
+        version: int,
+        query: Query,
+        seed: Optional[int],
+        n_samples: Optional[int],
+    ) -> Optional[tuple]:
+        """Canonical result-cache key, or None when the query can't be keyed.
+
+        Prefers the inference engine's plan canonicalization (semantically
+        equal predicates share an entry); duck-typed models without a
+        ``ProgressiveSampler`` fall back to the literal query if hashable.
+        """
+        inference = getattr(model, "inference", None)
+        if inference is None and hasattr(model, "plan"):
+            inference = model  # a bare ProgressiveSampler-like engine
+        if inference is not None and hasattr(inference, "plan"):
+            # Validate even with caching disabled: an invalid query must
+            # fail its own submit, never the batch it would have joined.
+            query.validate(inference.layout.schema)
+            if self.cache_size == 0:
+                return None
+            plan_key = inference.plan(query).cache_key()
+        else:
+            if self.cache_size == 0:
+                return None
+            plan_key = (query.tables, query.predicates)
+            try:
+                hash(plan_key)
+            except TypeError:
+                return None
+        return (version, plan_key, seed, n_samples)

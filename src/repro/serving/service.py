@@ -1,0 +1,171 @@
+"""EstimationService: the one-object serving front door.
+
+Ties a :class:`~repro.serving.registry.ModelRegistry` (who owns which
+model) to per-model :class:`~repro.serving.scheduler.MicroBatchScheduler`
+instances (how concurrent requests reach it), so an application does::
+
+    service = EstimationService()
+    service.register("imdb", estimator)          # or register_path(...)
+    future = service.submit(query, model="imdb")  # from any thread
+    count = future.result()
+    service.refresh("imdb", new_snapshot, train_tuples=50_000)  # hot-swap
+
+A single-model service also quacks like an estimator (``estimate`` /
+``estimate_batch``), so it drops straight into
+:func:`repro.eval.harness.evaluate_estimator` and the benchmark suites.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.estimator import NeuroCard
+from repro.errors import ServingError
+from repro.relational.query import Query
+from repro.relational.schema import JoinSchema
+from repro.serving.registry import ModelRegistry
+from repro.serving.scheduler import MicroBatchScheduler
+
+
+class EstimationService:
+    """Registry + schedulers behind one façade; safe to share across threads."""
+
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        *,
+        max_batch: int = 64,
+        max_wait_us: int = 2000,
+        cache_size: int = 1024,
+        n_samples: Optional[int] = None,
+    ):
+        self.registry = registry if registry is not None else ModelRegistry()
+        self._scheduler_opts = dict(
+            max_batch=max_batch,
+            max_wait_us=max_wait_us,
+            cache_size=cache_size,
+            n_samples=n_samples,
+        )
+        self._schedulers: Dict[str, MicroBatchScheduler] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Model management (delegates to the registry)
+    # ------------------------------------------------------------------
+    def register(self, name: str, estimator: NeuroCard) -> "EstimationService":
+        self.registry.register(name, estimator)
+        return self
+
+    def register_path(
+        self, name: str, path, schema: JoinSchema
+    ) -> "EstimationService":
+        self.registry.register_path(name, path, schema)
+        return self
+
+    def swap(self, name: str, estimator: NeuroCard) -> int:
+        """Hot-swap ``name``; in-flight batches finish on the old model."""
+        return self.registry.swap(name, estimator)
+
+    def refresh(
+        self, name: str, new_schema: JoinSchema, train_tuples: Optional[int] = None
+    ) -> int:
+        """Incrementally retrain a *copy* onto a snapshot, then hot-swap it in.
+
+        Readers never block: the version bump invalidates the scheduler's
+        result cache so post-refresh submits recompute against the new model.
+        """
+        return self.registry.refresh(name, new_schema, train_tuples=train_tuples)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def scheduler(self, model: Optional[str] = None) -> MicroBatchScheduler:
+        """The (lazily created) scheduler in front of ``model``."""
+        name = self._resolve(model)
+        if name not in self.registry:
+            raise ServingError(f"unknown model {name!r}")
+        with self._lock:
+            if self._closed:
+                raise ServingError("service is closed")
+            scheduler = self._schedulers.get(name)
+            if scheduler is None:
+                scheduler = MicroBatchScheduler(
+                    lambda: self.registry.get_with_version(name),
+                    name=name,
+                    **self._scheduler_opts,
+                )
+                self._schedulers[name] = scheduler
+        return scheduler
+
+    def submit(
+        self,
+        query: Query,
+        *,
+        model: Optional[str] = None,
+        seed: Optional[int] = None,
+        n_samples: Optional[int] = None,
+    ) -> Future:
+        return self.scheduler(model).submit(query, seed=seed, n_samples=n_samples)
+
+    def estimate(
+        self, query: Query, *, model: Optional[str] = None, seed: Optional[int] = None
+    ) -> float:
+        return self.submit(query, model=model, seed=seed).result()
+
+    def estimate_batch(
+        self, queries: Sequence[Query], *, model: Optional[str] = None
+    ) -> np.ndarray:
+        futures = [self.submit(q, model=model) for q in queries]
+        return np.array([f.result() for f in futures], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict]:
+        """Scheduler telemetry per model (under ``models``) + registry counters."""
+        with self._lock:
+            schedulers = dict(self._schedulers)
+        return {
+            "models": {name: s.stats() for name, s in schedulers.items()},
+            "registry": {
+                "n_models": len(self.registry.names()),
+                "resident_bytes": self.registry.resident_bytes,
+                "loads": self.registry.loads,
+                "evictions": self.registry.evictions,
+            },
+        }
+
+    def close(self) -> None:
+        """Drain and stop every scheduler. Idempotent."""
+        with self._lock:
+            self._closed = True
+            schedulers = list(self._schedulers.values())
+            self._schedulers.clear()
+        for scheduler in schedulers:
+            scheduler.close()
+
+    def __enter__(self) -> "EstimationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _resolve(self, model: Optional[str]) -> str:
+        if model is not None:
+            return model
+        names = self.registry.names()
+        if len(names) != 1:
+            raise ServingError(
+                "model name required when the registry holds "
+                f"{len(names)} models: {sorted(names)}"
+            )
+        return names[0]
+
+    @property
+    def size_bytes(self) -> Optional[int]:
+        """Resident model bytes (harness Size column for single-model services)."""
+        return self.registry.resident_bytes or None

@@ -1,12 +1,15 @@
 """Save/load round-trips for trained estimators."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.core.persistence import load_model, save_model
-from repro.errors import EstimationError
+from repro.errors import EstimationError, PersistenceError
 from repro.relational.predicate import Predicate
 from repro.relational.query import Query
+from repro.relational.table import Table
 from tests.core.test_estimator import correlated_schema, small_config
 from repro.core.estimator import NeuroCard
 
@@ -80,3 +83,88 @@ class TestRoundtrip:
         )
         with pytest.raises(EstimationError):
             load_model(path, mutated)
+
+
+class TestCompatibilityValidation:
+    """Schema/config drift fails early with a clear PersistenceError."""
+
+    def test_extra_column_rejected_with_table_name(self, trained, tmp_path):
+        """Mismatched column *counts* fail at validation, not weight loading."""
+        schema, estimator = trained
+        path = save_model(estimator, tmp_path / "cols.npz")
+        c2 = schema.table("C2")
+        widened = schema.replace_table(
+            Table.from_dict(
+                "C2",
+                {
+                    "rid": list(c2.codes("rid")),
+                    "score": list(c2.codes("score")),
+                    "extra": [0] * c2.n_rows,
+                },
+            )
+        )
+        with pytest.raises(PersistenceError, match="'C2' columns changed"):
+            load_model(path, widened)
+
+    def test_renamed_column_rejected(self, trained, tmp_path):
+        schema, estimator = trained
+        path = save_model(estimator, tmp_path / "renamed.npz")
+        c2 = schema.table("C2")
+        renamed = schema.replace_table(
+            Table.from_dict(
+                "C2",
+                {"rid": list(c2.codes("rid")), "points": list(c2.codes("score"))},
+            )
+        )
+        with pytest.raises(PersistenceError, match="columns changed"):
+            load_model(path, renamed)
+
+    def test_changed_domain_names_offending_column(self, trained, tmp_path):
+        schema, estimator = trained
+        path = save_model(estimator, tmp_path / "domain.npz")
+        mutated = schema.replace_table(
+            Table.from_dict("C2", {"rid": [0, 1], "score": [999, 1000]})
+        )
+        with pytest.raises(PersistenceError, match="C2.(rid|score)"):
+            load_model(path, mutated)
+
+    def test_bad_saved_config_rejected(self, trained, tmp_path):
+        """A config from a different build fails with a clear message."""
+        schema, estimator = trained
+        path = save_model(estimator, tmp_path / "config.npz")
+        _corrupt_meta(path, lambda m: m["config"].update(not_a_real_knob=1))
+        with pytest.raises(PersistenceError, match="config"):
+            load_model(path, schema)
+
+    def test_v1_artifact_without_columns_still_loads(self, trained, tmp_path):
+        """Back-compat: pre-metadata artifacts load via the domains check."""
+        schema, estimator = trained
+        path = save_model(estimator, tmp_path / "v1.npz")
+
+        def downgrade(meta):
+            meta.pop("columns")
+            meta["format_version"] = 1
+
+        _corrupt_meta(path, downgrade)
+        loaded = load_model(path, schema)
+        query = Query.make(["R"], [Predicate("R", "year", ">=", 1995)])
+        assert loaded.estimate(query, rng=np.random.default_rng(3)) >= 0
+
+    def test_unknown_format_version_rejected(self, trained, tmp_path):
+        schema, estimator = trained
+        path = save_model(estimator, tmp_path / "future.npz")
+        _corrupt_meta(path, lambda m: m.update(format_version=99))
+        with pytest.raises(PersistenceError, match="unsupported model format"):
+            load_model(path, schema)
+
+
+def _corrupt_meta(path, mutate) -> None:
+    """Rewrite the artifact's __meta__ blob in place (test-only tampering)."""
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files}
+    meta = json.loads(bytes(arrays["__meta__"]).decode("utf-8"))
+    mutate(meta)
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)

@@ -1,0 +1,230 @@
+"""MicroBatchScheduler: coalescing, flush timing, caching, failure semantics."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError, ServingError
+from repro.relational.predicate import Predicate
+from repro.relational.query import Query
+from repro.serving import MicroBatchScheduler
+from tests.serving.conftest import FakeModel
+
+
+def fixed_source(model, version=0):
+    return lambda: (model, version)
+
+
+class TestCoalescing:
+    def test_concurrent_submits_share_batches(self):
+        model = FakeModel(tag=7.0, delay=0.02)
+        q = Query.make(["T"])
+        with MicroBatchScheduler(
+            fixed_source(model), max_batch=64, max_wait_us=5_000, cache_size=0
+        ) as scheduler:
+            # First request occupies the flusher (20ms model delay); the
+            # rest pile up and must coalesce into far fewer batches.
+            futures = [scheduler.submit(q)]
+            time.sleep(0.005)
+            futures += [scheduler.submit(q) for _ in range(15)]
+            results = [f.result(timeout=10) for f in futures]
+        assert results == [7.0] * 16
+        assert model.calls <= 4
+        assert scheduler.stats()["mean_batch_size"] > 1.0
+
+    def test_full_batch_flushes_before_deadline(self):
+        model = FakeModel(tag=1.0)
+        q = Query.make(["T"])
+        with MicroBatchScheduler(
+            fixed_source(model), max_batch=4, max_wait_us=5_000_000, cache_size=0
+        ) as scheduler:
+            start = time.perf_counter()
+            futures = [scheduler.submit(q) for _ in range(4)]
+            for f in futures:
+                f.result(timeout=10)
+            elapsed = time.perf_counter() - start
+        # A full batch must not sit out the 5s max-wait window.
+        assert elapsed < 2.0
+
+    def test_max_wait_flush_timing(self):
+        """A lone request flushes at the max-wait deadline, not at max-batch."""
+        model = FakeModel(tag=1.0)
+        q = Query.make(["T"])
+        with MicroBatchScheduler(
+            fixed_source(model), max_batch=64, max_wait_us=60_000, cache_size=0
+        ) as scheduler:
+            start = time.perf_counter()
+            scheduler.submit(q).result(timeout=10)
+            elapsed = time.perf_counter() - start
+        # Must have waited out (at least) the 60ms window, and not hung.
+        assert 0.05 <= elapsed < 5.0
+        assert model.calls == 1
+
+    def test_done_callback_may_resubmit(self):
+        """Futures resolve outside the scheduler lock, so async chaining works."""
+        model = FakeModel(tag=2.0)
+        q = Query.make(["T"])
+        with MicroBatchScheduler(
+            fixed_source(model), max_batch=4, max_wait_us=1_000, cache_size=0
+        ) as scheduler:
+            chained = {}
+            submitted = threading.Event()
+
+            def chain(_finished):
+                chained["future"] = scheduler.submit(q)
+                submitted.set()
+
+            scheduler.submit(q).add_done_callback(chain)
+            assert submitted.wait(timeout=5)  # no deadlock on re-entry
+            assert chained["future"].result(timeout=5) == 2.0
+
+    def test_close_drains_pending_requests(self):
+        model = FakeModel(tag=3.0)
+        q = Query.make(["T"])
+        scheduler = MicroBatchScheduler(
+            fixed_source(model), max_batch=64, max_wait_us=1_000_000, cache_size=0
+        )
+        futures = [scheduler.submit(q) for _ in range(5)]
+        scheduler.close()  # long max-wait: close must not wait the window out
+        assert [f.result(timeout=1) for f in futures] == [3.0] * 5
+        with pytest.raises(ServingError):
+            scheduler.submit(q)
+        scheduler.close()  # idempotent
+
+
+class TestFailureSemantics:
+    def test_batch_failure_propagates_to_every_future(self):
+        model = FakeModel(tag=0.0, fail=True)
+        q = Query.make(["T"])
+        with MicroBatchScheduler(
+            fixed_source(model), max_batch=8, max_wait_us=2_000, cache_size=0
+        ) as scheduler:
+            futures = [scheduler.submit(q) for _ in range(3)]
+            for f in futures:
+                with pytest.raises(RuntimeError, match="exploded"):
+                    f.result(timeout=10)
+            # Fail-fast, not fail-forever: the scheduler keeps serving.
+            model.fail = False
+            assert scheduler.submit(q).result(timeout=10) == 0.0
+
+    def test_short_result_array_fails_batch_instead_of_hanging(self):
+        class TruncatingModel(FakeModel):
+            def estimate_batch(self, queries, n_samples=None, rngs=None):
+                return super().estimate_batch(queries[:1])
+
+        model = TruncatingModel(tag=1.0, delay=0.01)
+        q = Query.make(["T"])
+        with MicroBatchScheduler(
+            fixed_source(model), max_batch=8, max_wait_us=2_000, cache_size=0
+        ) as scheduler:
+            futures = [scheduler.submit(q) for _ in range(3)]
+            for f in futures:
+                with pytest.raises(ServingError, match="estimates for"):
+                    f.result(timeout=10)
+
+    def test_invalid_query_fails_synchronously(self, oracle_engine):
+        bad = Query.make(["R", "NOPE"])
+        with MicroBatchScheduler(
+            fixed_source(oracle_engine), max_batch=4, max_wait_us=1_000
+        ) as scheduler:
+            with pytest.raises(QueryError):
+                scheduler.submit(bad)
+
+
+class TestOracleEquivalence:
+    def test_bitwise_equal_to_sequential_path(self, oracle_engine, workload):
+        """Arbitrary coalescing never changes a pinned-seed result by one bit."""
+        n = 120
+        sequential = [
+            oracle_engine.estimate(q, n_samples=n, rng=np.random.default_rng(40 + i))
+            for i, q in enumerate(workload)
+        ]
+        with MicroBatchScheduler(
+            fixed_source(oracle_engine), max_batch=2, max_wait_us=500,
+            cache_size=0, n_samples=n,
+        ) as scheduler:
+            futures = [
+                scheduler.submit(q, seed=40 + i) for i, q in enumerate(workload)
+            ]
+            coalesced = [f.result(timeout=30) for f in futures]
+        assert coalesced == sequential  # bitwise, not approx
+
+    def test_mixed_n_samples_grouped_correctly(self, oracle_engine, workload):
+        q = workload[0]
+        a = oracle_engine.estimate(q, n_samples=64, rng=np.random.default_rng(9))
+        b = oracle_engine.estimate(q, n_samples=128, rng=np.random.default_rng(9))
+        with MicroBatchScheduler(
+            fixed_source(oracle_engine), max_batch=8, max_wait_us=50_000,
+            cache_size=0,
+        ) as scheduler:
+            fa = scheduler.submit(q, seed=9, n_samples=64)
+            fb = scheduler.submit(q, seed=9, n_samples=128)
+            assert fa.result(timeout=30) == a
+            assert fb.result(timeout=30) == b
+
+
+class TestResultCache:
+    def test_repeat_submission_hits_cache(self, oracle_engine, workload):
+        q = workload[1]
+        with MicroBatchScheduler(
+            fixed_source(oracle_engine), max_batch=4, max_wait_us=500, n_samples=64
+        ) as scheduler:
+            first = scheduler.submit(q, seed=5).result(timeout=30)
+            batches = scheduler.stats()["batches"]
+            again = scheduler.submit(q, seed=5).result(timeout=30)
+            assert again == first
+            assert scheduler.n_cache_hits == 1
+            assert scheduler.stats()["batches"] == batches  # no recompute
+
+    def test_semantically_equal_predicates_share_entry(self, oracle_engine):
+        """Plan canonicalization: x>=3 AND x>=5 coalesces with x>=5."""
+        loose = Query.make(
+            ["R"],
+            [Predicate("R", "year", ">=", 1993), Predicate("R", "year", ">=", 1995)],
+        )
+        tight = Query.make(["R"], [Predicate("R", "year", ">=", 1995)])
+        with MicroBatchScheduler(
+            fixed_source(oracle_engine), max_batch=4, max_wait_us=500, n_samples=64
+        ) as scheduler:
+            a = scheduler.submit(tight, seed=2).result(timeout=30)
+            b = scheduler.submit(loose, seed=2).result(timeout=30)
+            assert a == b
+            assert scheduler.n_cache_hits == 1
+
+    def test_version_bump_invalidates_cache(self, oracle_engine, workload):
+        """A registry hot-swap (new version) must force recomputation."""
+        q = workload[2]
+        version = {"v": 0}
+        source = lambda: (oracle_engine, version["v"])
+        with MicroBatchScheduler(
+            source, max_batch=4, max_wait_us=500, n_samples=64
+        ) as scheduler:
+            scheduler.submit(q, seed=3).result(timeout=30)
+            scheduler.submit(q, seed=3).result(timeout=30)
+            assert scheduler.n_cache_hits == 1
+            batches = scheduler.stats()["batches"]
+            version["v"] = 1  # simulated update()/hot-swap
+            scheduler.submit(q, seed=3).result(timeout=30)
+            assert scheduler.n_cache_hits == 1  # miss: stale entry not served
+            assert scheduler.stats()["batches"] == batches + 1
+
+    def test_lru_eviction_bounds_cache(self, oracle_engine, workload):
+        with MicroBatchScheduler(
+            fixed_source(oracle_engine), max_batch=8, max_wait_us=500,
+            cache_size=2, n_samples=64,
+        ) as scheduler:
+            for seed in range(5):
+                scheduler.submit(workload[0], seed=seed).result(timeout=30)
+            assert scheduler.stats()["cache_size"] <= 2
+
+    def test_cache_disabled(self, oracle_engine, workload):
+        with MicroBatchScheduler(
+            fixed_source(oracle_engine), max_batch=4, max_wait_us=500,
+            cache_size=0, n_samples=64,
+        ) as scheduler:
+            a = scheduler.submit(workload[0], seed=1).result(timeout=30)
+            b = scheduler.submit(workload[0], seed=1).result(timeout=30)
+            assert a == b  # same pinned stream, recomputed
+            assert scheduler.n_cache_hits == 0
