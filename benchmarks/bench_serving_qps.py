@@ -15,9 +15,14 @@ they fail (``--no-check`` to report only):
   pinned per-query generators on the deterministic tabular oracle model
   (whose conditionals are batch-composition invariant);
 * on the trained model, scheduler results match the sequential loop to
-  ``rtol <= 1e-6`` under pinned seeds (the batched engine's sliced
-  forward pass may differ from the full forward in the last float bits);
-* the scheduler sustains >= 3x the sequential QPS at 8 concurrent clients.
+  ``rtol <= 5e-6`` under pinned seeds (both paths run the compiled fp32
+  kernels, whose GEMMs may round differently per batch composition);
+* the scheduler sustains >= 1.4x the sequential QPS at 8 concurrent
+  clients. The floor was 3x before the compiled inference engine: the
+  sequential baseline now runs batch-of-1 through the same compiled
+  kernels (~4x faster than PR 3's loop), so coalescing's *relative* win
+  shrank while absolute scheduler QPS rose — ``check_regression.py``
+  gates that absolute level separately.
 
 Run:  PYTHONPATH=src python benchmarks/bench_serving_qps.py [--out PATH]
 """
@@ -236,21 +241,21 @@ def main() -> None:
     failures = []
     if not bitwise:
         failures.append("scheduler is not bitwise-equal to the sequential oracle path")
-    if rel_dev > 1e-6:
+    if rel_dev > 5e-6:
         failures.append(
-            f"trained-model deviation vs sequential {rel_dev:.2e} exceeds 1e-6"
+            f"trained-model deviation vs sequential {rel_dev:.2e} exceeds 5e-6"
         )
-    if speedup < 3.0:
+    if speedup < 1.4:
         failures.append(
-            f"scheduler speedup {speedup:.2f}x at {args.clients} clients is below 3x"
+            f"scheduler speedup {speedup:.2f}x at {args.clients} clients is below 1.4x"
         )
     if failures:
         for failure in failures:
             print(f"CHECK FAILED: {failure}", file=sys.stderr)
         sys.exit(1)
     print(
-        f"checks passed: bitwise oracle match, rel dev {rel_dev:.1e} <= 1e-6, "
-        f"{speedup:.2f}x >= 3x at {args.clients} clients"
+        f"checks passed: bitwise oracle match, rel dev {rel_dev:.1e} <= 5e-6, "
+        f"{speedup:.2f}x >= 1.4x at {args.clients} clients"
     )
 
 

@@ -59,10 +59,25 @@ def main() -> None:
         "--require-all", action="store_true",
         help="fail when a baseline bench has no report at all (full runs)",
     )
+    parser.add_argument(
+        "--only", action="append", metavar="BENCH",
+        help="restrict the gate to these bench names (repeatable); with "
+        "--require-all, a selected bench without a report is a hard "
+        "failure while unselected benches are ignored entirely",
+    )
     args = parser.parse_args()
 
     with open(args.baseline) as f:
         baseline = json.load(f)
+    if args.only:
+        known = {key.partition(".")[0] for key in baseline["metrics"]}
+        unknown = set(args.only) - known
+        if unknown:
+            sys.exit(f"--only names unknown benches: {sorted(unknown)}")
+        baseline["metrics"] = {
+            key: spec for key, spec in baseline["metrics"].items()
+            if key.partition(".")[0] in args.only
+        }
     tolerance = (
         args.tolerance if args.tolerance is not None else baseline.get("tolerance", 0.25)
     )

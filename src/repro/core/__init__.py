@@ -9,6 +9,7 @@ tables via progressive sampling with schema-subsetting corrections.
 from repro.core.config import NeuroCardConfig
 from repro.core.estimator import NeuroCard
 from repro.core.factorization import Factorizer
+from repro.core.inference import build_engine, compiled_model, precompile_plan
 from repro.core.progressive import ProgressiveSampler
 from repro.core.regions import Region
 
@@ -18,4 +19,7 @@ __all__ = [
     "Factorizer",
     "ProgressiveSampler",
     "Region",
+    "build_engine",
+    "compiled_model",
+    "precompile_plan",
 ]

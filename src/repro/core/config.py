@@ -30,6 +30,10 @@ class NeuroCardConfig:
     wildcard_skipping: bool = True
     exclude_columns: Tuple[str, ...] = field(default_factory=tuple)
     seed: int = 0
+    #: Serving-side kernel compilation: "fp32" (compiled fast path, the
+    #: default), "fp64" (oracle mode, bitwise-equal to the reference
+    #: forward), or "off" (uncompiled reference engine).
+    compiled_inference: str = "fp32"
 
     def validate(self) -> None:
         if self.d_emb < 1 or self.d_ff < 1 or self.n_blocks < 0:
@@ -42,3 +46,8 @@ class NeuroCardConfig:
             raise TrainingError("progressive_samples must be >= 1")
         if self.sampler_threads < 1:
             raise TrainingError("sampler_threads must be >= 1")
+        if self.compiled_inference not in ("off", "fp32", "fp64"):
+            raise TrainingError(
+                "compiled_inference must be 'off', 'fp32', or 'fp64'; "
+                f"got {self.compiled_inference!r}"
+            )

@@ -21,6 +21,14 @@ import numpy as np
 
 from repro.core.config import NeuroCardConfig
 from repro.core.encoding import FusedEncoder, Layout
+from repro.core.inference import (
+    INFERENCE_MODES,
+    build_engine,
+    compiled_model,
+    compiled_size_bytes,
+    invalidate_compiled,
+    precompile_plan,
+)
 from repro.core.progressive import ProgressiveSampler
 from repro.core.training import TrainResult, train_autoregressive
 from repro.errors import EstimationError, SchemaError
@@ -48,15 +56,26 @@ class NeuroCard:
         self.prepare_seconds = 0.0
         self._optimizer: Optional[Adam] = None
         self._rng = np.random.default_rng(self.config.seed + 1)
+        self._compile_mode = self.config.compiled_inference
 
     # ------------------------------------------------------------------
     @property
     def is_fitted(self) -> bool:
         return self.inference is not None
 
-    def fit(self, train_tuples: Optional[int] = None) -> "NeuroCard":
-        """Build join counts, train the AR model, prepare inference."""
+    def fit(
+        self, train_tuples: Optional[int] = None, compile: Optional[object] = None
+    ) -> "NeuroCard":
+        """Build join counts, train the AR model, prepare inference.
+
+        ``compile`` selects the serving kernels: ``True`` compiles (using
+        the config's mode, defaulting to fp32), ``False`` keeps the
+        reference engine, a mode string ("fp32"/"fp64"/"off") selects
+        explicitly, and ``None`` defers to ``config.compiled_inference``.
+        Compilation itself is lazy — kernels fold on first estimate.
+        """
         cfg = self.config
+        self._compile_mode = self._resolve_compile_mode(compile)
         start = time.perf_counter()
         self.counts = JoinCounts(self.schema)
         specs = joined_column_specs(
@@ -79,10 +98,34 @@ class NeuroCard:
             total_steps=max(n_tuples // cfg.batch_size, 1),
         )
         self._train(n_tuples)
-        self.inference = ProgressiveSampler(
-            self.model, self.layout, self.counts.full_join_size
-        )
+        self.inference = self.build_inference()
         return self
+
+    def _resolve_compile_mode(self, compile: Optional[object]) -> str:
+        if compile is None:
+            mode = self.config.compiled_inference
+        elif compile is True:
+            mode = self.config.compiled_inference
+            mode = mode if mode != "off" else "fp32"
+        elif compile is False:
+            mode = "off"
+        else:
+            mode = str(compile)
+        # Fail before training, not at the post-fit build_engine call.
+        if mode not in INFERENCE_MODES:
+            raise EstimationError(
+                f"unknown inference mode {mode!r}; expected one of {INFERENCE_MODES}"
+            )
+        return mode
+
+    def build_inference(self) -> ProgressiveSampler:
+        """A fresh inference engine over the current weights (compiled per
+        the estimator's mode). Used on fit/update and by the serving
+        registry's hot-swap path, so stale compiled state never survives a
+        weight change."""
+        return build_engine(
+            self.model, self.layout, self.counts.full_join_size, self._compile_mode
+        )
 
     def _train(self, n_tuples: int) -> None:
         cfg = self.config
@@ -128,13 +171,21 @@ class NeuroCard:
     def estimate(
         self, query: Query, rng: Optional[np.random.Generator] = None
     ) -> float:
-        """Estimated COUNT(*), lower-bounded by 0 (harnesses clamp to 1)."""
+        """Estimated COUNT(*), lower-bounded by 0 (harnesses clamp to 1).
+
+        Routed through the batched engine as a batch of one, so direct
+        calls and the serving layer share a single (compiled) code path;
+        ``rng`` pins the query's Monte Carlo stream exactly as a
+        ``rngs=[rng]`` entry does on :meth:`estimate_batch`.
+        """
         if not self.is_fitted:
             raise EstimationError("call fit() before estimate()")
-        return self.inference.estimate(
-            query,
-            n_samples=self.config.progressive_samples,
-            rng=rng if rng is not None else self._rng,
+        return float(
+            self.inference.estimate_batch(
+                [query],
+                n_samples=self.config.progressive_samples,
+                rngs=[rng if rng is not None else self._rng],
+            )[0]
         )
 
     def estimate_batch(
@@ -165,6 +216,32 @@ class NeuroCard:
             rng=rng if rng is not None else self._rng,
             rngs=rngs,
         )
+
+    # ------------------------------------------------------------------
+    def precompile(self, queries: Optional[Sequence[Query]] = None) -> int:
+        """Fold the serving kernels now (and optionally pre-warm plans).
+
+        Compilation is otherwise lazy (first estimate pays it); serving
+        layers call this on load/hot-swap so the first request after a
+        swap is already on compiled kernels. With ``queries``, each one's
+        resolved plan seeds the wildcard-constant cache; returns the
+        number of newly seeded patterns. No-op on reference engines.
+        """
+        if not self.is_fitted:
+            raise EstimationError("call fit() before precompile()")
+        compiled = compiled_model(self.inference)
+        if compiled is None:
+            return 0
+        compiled.compile()
+        seeded = 0
+        for query in queries or ():
+            query.validate(self.layout.schema)
+            seeded += precompile_plan(self.inference, self.inference.plan(query))
+        return seeded
+
+    def invalidate_compiled(self) -> None:
+        """Drop compiled kernel state (weights changed out from under it)."""
+        invalidate_compiled(self.inference)
 
     # ------------------------------------------------------------------
     def update(
@@ -198,18 +275,23 @@ class NeuroCard:
         self.prepare_seconds += time.perf_counter() - start
         if train_tuples and train_tuples > 0:
             self._train(train_tuples)
-        self.inference = ProgressiveSampler(
-            self.model, self.layout, self.counts.full_join_size
-        )
+        # A fresh engine also discards compiled kernels folded from the
+        # pre-update weights.
+        self.inference = self.build_inference()
         return self
 
     # ------------------------------------------------------------------
     @property
     def size_bytes(self) -> int:
-        """Model size (the paper's reported estimator size)."""
+        """Resident estimator size: model weights + compiled inference buffers.
+
+        The compiled term is 0 until the first estimate folds the kernels
+        (compilation is lazy) and deterministic afterwards, so serving
+        memory budgets see a stable number per model.
+        """
         if self.model is None:
             raise EstimationError("not fitted")
-        return self.model.size_bytes
+        return self.model.size_bytes + compiled_size_bytes(self.inference)
 
     @property
     def size_mb(self) -> float:

@@ -138,4 +138,9 @@ def load_model(path: str | Path, schema: JoinSchema) -> NeuroCard:
             if saved.shape != param.value.shape:
                 raise PersistenceError(f"shape mismatch for {param.name}")
             param.value[...] = saved
+    # Compiled inference buffers are derived state: they are never written
+    # to the artifact (format stays v2) and anything folded from fit()'s
+    # throwaway initialization above is now stale. Drop it; kernels refold
+    # lazily from the loaded weights on the first estimate.
+    estimator.invalidate_compiled()
     return estimator

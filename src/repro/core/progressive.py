@@ -53,7 +53,9 @@ def _draw_interval(probs, lo, hi, u):
     upper = cum[rows, hi]
     lower = np.where(lo > 0, cum[rows, np.maximum(lo - 1, 0)], 0.0)
     mass = np.maximum(upper - lower, 0.0)
-    target = lower + u * mass
+    # Compare in the probs' own dtype: a no-op in the fp64 reference path,
+    # and half the comparison traffic for fp32 compiled conditionals.
+    target = (lower + u * mass).astype(probs.dtype, copy=False)
     drawn = (cum < target[:, None]).sum(axis=1)
     return mass, np.clip(drawn, lo, hi)
 
@@ -63,7 +65,7 @@ def _draw_set(probs, codes, u):
     sub = probs[:, codes]
     mass = sub.sum(axis=1)
     cums = np.cumsum(sub, axis=1)
-    target = u * mass
+    target = (u * mass).astype(cums.dtype, copy=False)
     idx = (cums < target[:, None]).sum(axis=1)
     return mass, codes[np.minimum(idx, len(codes) - 1)]
 
@@ -73,7 +75,7 @@ def _draw_tilted(probs, tilt, u):
     q = probs * tilt[None, :]
     mass = q.sum(axis=1)
     cums = np.cumsum(q, axis=1)
-    target = u * mass
+    target = (u * mass).astype(cums.dtype, copy=False)
     idx = (cums < target[:, None]).sum(axis=1)
     return mass, np.minimum(idx, probs.shape[1] - 1)
 
@@ -238,6 +240,12 @@ class ProgressiveSampler:
         self.model = model
         self.layout = layout
         self.full_join_size = float(full_join_size)
+        # Resolve the per-column conditional once: compiled models and
+        # ResMADE expose the sliced ``column_conditional`` fast path, duck-
+        # typed oracles fall back to the full ``conditional``.
+        self._column_conditional = (
+            getattr(model, "column_conditional", None) or model.conditional
+        )
         self._shape_cache: Dict[FrozenSet[str], Tuple[FrozenSet[str], FrozenSet[str]]] = {}
         self._region_cache: Dict[tuple, Region] = {}
         self._trie_cache: Dict[tuple, SetTrie] = {}
@@ -522,9 +530,7 @@ class ProgressiveSampler:
         rows = np.concatenate(
             [slices[qi].start + live_local[qi] for qi in parts]
         )
-        conditional = getattr(self.model, "column_conditional", None) or (
-            lambda t, c, w: self.model.conditional(t, c, w)
-        )
+        conditional = self._column_conditional
         probs = None
         if len(rows):
             _, first_local, inverse = np.unique(

@@ -7,6 +7,7 @@ over numpy with hand-derived gradients. The same layers power both
 NeuroCard's ResMADE density model and the MSCN baseline's regressor.
 """
 
+from repro.nn.compiled import CompiledResMADE
 from repro.nn.layers import Embedding, Linear, Parameter, ReLU, Sigmoid
 from repro.nn.masks import hidden_degrees, hidden_mask, input_mask, output_mask
 from repro.nn.mlp import MLP
@@ -22,6 +23,7 @@ __all__ = [
     "MLP",
     "Adam",
     "ResMADE",
+    "CompiledResMADE",
     "input_mask",
     "hidden_mask",
     "output_mask",

@@ -1,0 +1,619 @@
+"""Plan-specialized compiled inference kernels for ResMADE.
+
+Training wants one graph with gradients; serving wants the cheapest possible
+per-column conditional. :class:`CompiledResMADE` is the serving side: it
+takes a trained :class:`~repro.nn.resmade.ResMADE` and lowers its forward
+pass into inference-only kernels that exploit everything that is constant
+per query plan:
+
+* **Embedding folding** — each column's embedding table is multiplied
+  through the input masked-linear offline, so the input layer becomes one
+  per-column LUT gather + add per constrained column. No embedding concat,
+  no input matmul at inference.
+* **Wildcard-constant caching** — wildcard columns always feed the fixed
+  MASK embedding, so their total contribution to the hidden activation is a
+  constant vector per wildcard pattern. Patterns are keyed by their packed
+  bit signature over the columns before the target column and cached across
+  calls (and across queries sharing a plan shape), so unconstrained columns
+  cost one cached vector instead of per-sample gathers.
+* **Degree-sorted prefix slicing** — hidden units are permuted so MADE
+  degrees are non-decreasing. Column ``c``'s logits depend only on hidden
+  units of degree ``< c``, which after the permutation is a contiguous
+  prefix; every residual-block matmul for step ``c`` runs on the
+  ``cut[c] × cut[c]`` top-left corner (specialized contiguous weight copies
+  are materialized lazily per distinct prefix width).
+* **Sliced output heads** — only the next-needed column's logit rows are
+  evaluated, via per-column ``(cut, dom)`` weight views prepared at the
+  first use of each autoregressive step.
+* **float32 scratch reuse** — all kernels run in fp32 out-of-place into
+  thread-local scratch buffers that are reused across steps and calls
+  (no per-call allocation on the hot path).
+
+Modes
+-----
+``mode="fp32"`` is the compiled fast path; conditionals match the reference
+forward to fp32 round-off (the estimator-level contract is ≤1e-4 relative
+drift on estimates, gated by ``benchmarks/bench_compiled_inference.py``).
+``mode="fp64"`` is the *oracle* mode: it routes every conditional through
+the wrapped model's reference implementation unchanged (with fp64 softmax,
+exactly as :meth:`ResMADE.column_conditional` does), so its results are
+bitwise-equal to the uncompiled path by construction. The oracle mode pins
+down that all the surrounding wiring (batch-of-1 routing, registry
+hot-swap, scheduler coalescing) is drift-free; the fp32 mode buys the
+speed.
+
+The wrapper is **lazy**: nothing is folded until the first conditional is
+requested, so loading weights into an already-constructed model (see
+``persistence.load_model``) never captures stale parameters — callers that
+mutate weights must still :meth:`invalidate`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.nn import masks as made_masks
+from repro.nn.layers import softmax
+
+#: Wildcard-pattern constants cached per compiled model before reset.
+PATTERN_CACHE_LIMIT = 4096
+
+_REQUIRED_ATTRS = (
+    "embeddings",
+    "input_linear",
+    "blocks",
+    "output_linear",
+    "domains",
+    "offsets",
+    "d_emb",
+    "d_ff",
+    "n_columns",
+)
+
+
+def supports_compilation(model) -> bool:
+    """True when ``model`` exposes the ResMADE surface the compiler folds."""
+    return all(hasattr(model, attr) for attr in _REQUIRED_ATTRS)
+
+
+class CompiledResMADE:
+    """Inference-only compiled view over a trained ResMADE.
+
+    Exposes the same ``conditional`` / ``column_conditional`` surface the
+    progressive sampler consumes, so it drops in as the engine's model.
+    The wrapped model stays the single source of truth for weights (and the
+    correctness oracle); compiled state is derived, lazily built, and never
+    persisted.
+    """
+
+    def __init__(self, model, mode: str = "fp32"):
+        if mode not in ("fp32", "fp64"):
+            raise EstimationError(
+                f"unknown compile mode {mode!r} (expected 'fp32' or 'fp64')"
+            )
+        if not supports_compilation(model):
+            raise EstimationError(
+                f"cannot compile {type(model).__name__}: not a ResMADE-like model"
+            )
+        self.model = model
+        self.mode = mode
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        self._compiled = False
+        self._luts: List[np.ndarray] = []
+        self._mask_stack: Optional[np.ndarray] = None
+        self._b_in: Optional[np.ndarray] = None
+        self._block_weights: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        self._w_out: Optional[np.ndarray] = None
+        self._b_out: Optional[np.ndarray] = None
+        self._cuts: Optional[np.ndarray] = None
+        self._pattern_cache: Dict[object, np.ndarray] = {}
+        self._block_cut_cache: Dict[int, list] = {}
+        self._out_head_cache: Dict[int, np.ndarray] = {}
+        self._multi_head_cache: Dict[tuple, Tuple[np.ndarray, list]] = {}
+        self._scratch_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Delegated model surface
+    # ------------------------------------------------------------------
+    @property
+    def domains(self):
+        return self.model.domains
+
+    @property
+    def n_columns(self) -> int:
+        return self.model.n_columns
+
+    @property
+    def offsets(self):
+        return self.model.offsets
+
+    @property
+    def reference(self):
+        """The wrapped (uncompiled) model — the correctness oracle."""
+        return self.model
+
+    @property
+    def is_compiled(self) -> bool:
+        return self._compiled
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self) -> "CompiledResMADE":
+        """Fold the current weights into inference kernels (idempotent)."""
+        if self.mode == "fp64" or self._compiled:
+            return self
+        with self._lock:
+            if self._compiled:
+                return self
+            self._compile_locked()
+            self._compiled = True
+        return self
+
+    def _compile_locked(self) -> None:
+        model = self.model
+        degrees = made_masks.hidden_degrees(model.n_columns, model.d_ff)
+        perm = np.argsort(degrees, kind="stable")
+        self._perm = perm
+        sorted_degrees = degrees[perm]
+        self._cuts = np.searchsorted(
+            sorted_degrees, np.arange(model.n_columns), side="left"
+        ).astype(np.int64)
+
+        # Fold every embedding table through the (permuted) input linear in
+        # fp64, then round once: each LUT row is the column's exact
+        # contribution to the hidden pre-activation for one token id.
+        w_in = model.input_linear.effective_weight()[perm].astype(np.float64)
+        d_emb = model.d_emb
+        self._luts = []
+        for i, emb in enumerate(model.embeddings):
+            block = w_in[:, i * d_emb : (i + 1) * d_emb]
+            self._luts.append(
+                (emb.W.value.astype(np.float64) @ block.T).astype(np.float32)
+            )
+        # MASK rows stacked for fast wildcard-constant assembly.
+        self._mask_stack = np.stack(
+            [self._luts[i][dom] for i, dom in enumerate(model.domains)]
+        )
+        self._b_in = model.input_linear.b.value[perm].astype(np.float32).copy()
+        # The all-wildcard pre-activation: bias + every column's MASK row.
+        # A column's contribution is exactly zero on hidden units of lower
+        # degree, so pre-adding *future* columns' MASK rows is invisible to
+        # every conditional until the column is folded (replaced) — which
+        # lets fold sessions start here and touch only non-wildcard rows.
+        self._mask_base = self._b_in + self._mask_stack.sum(axis=0)
+
+        self._block_weights = []
+        ix = np.ix_(perm, perm)
+        for block in model.blocks:
+            self._block_weights.append((
+                np.ascontiguousarray(block.lin1.effective_weight()[ix].T, dtype=np.float32),
+                block.lin1.b.value[perm].astype(np.float32).copy(),
+                np.ascontiguousarray(block.lin2.effective_weight()[ix].T, dtype=np.float32),
+                block.lin2.b.value[perm].astype(np.float32).copy(),
+            ))
+        self._w_out = np.ascontiguousarray(
+            model.output_linear.effective_weight()[:, perm], dtype=np.float32
+        )
+        self._b_out = model.output_linear.b.value.astype(np.float32).copy()
+
+    def invalidate(self) -> None:
+        """Drop all compiled state; the next call refolds current weights."""
+        with self._lock:
+            self._reset_state()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """Deterministic compiled-buffer footprint (0 until compiled).
+
+        Counts the folded LUTs and permuted weight copies materialized by
+        :meth:`compile`. Lazily-grown per-step specializations, pattern
+        constants, and thread-local scratch are bounded but workload- and
+        thread-dependent, so they are reported via :meth:`stats` instead —
+        keeping serving-layer memory accounting (registry eviction budgets)
+        stable across identical models.
+        """
+        if not self._compiled:
+            return 0
+        total = sum(lut.nbytes for lut in self._luts)
+        total += self._mask_stack.nbytes + self._b_in.nbytes + self._mask_base.nbytes
+        for w1t, b1, w2t, b2 in self._block_weights:
+            total += w1t.nbytes + b1.nbytes + w2t.nbytes + b2.nbytes
+        total += self._w_out.nbytes + self._b_out.nbytes + self._cuts.nbytes
+        return int(total)
+
+    def stats(self) -> Dict[str, int]:
+        """Compiled-state telemetry, including the dynamic caches."""
+        dynamic = sum(c.nbytes for c in self._pattern_cache.values())
+        for entry in self._block_cut_cache.values():
+            dynamic += sum(a.nbytes for part in entry for a in part)
+        for head in self._out_head_cache.values():
+            dynamic += head.nbytes
+        for head, _spans in self._multi_head_cache.values():
+            dynamic += head.nbytes
+        return {
+            "compiled": int(self._compiled),
+            "size_bytes": self.size_bytes,
+            "pattern_entries": len(self._pattern_cache),
+            "specialized_cuts": len(self._block_cut_cache),
+            "out_heads": len(self._out_head_cache),
+            "dynamic_cache_bytes": int(dynamic),
+            "scratch_bytes": int(self._scratch_bytes),
+        }
+
+    # ------------------------------------------------------------------
+    # Conditionals (the ProgressiveSampler surface)
+    # ------------------------------------------------------------------
+    def conditional(
+        self, tokens: np.ndarray, col: int, wildcard: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """``p(X_col | inputs)`` — same contract as the reference model."""
+        if self.mode == "fp64":
+            return self.model.conditional(tokens, col, wildcard)
+        return self._probs(tokens, col, wildcard)
+
+    def column_conditional(
+        self, tokens: np.ndarray, col: int, wildcard: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        if self.mode == "fp64":
+            return self.model.column_conditional(tokens, col, wildcard)
+        return self._probs(tokens, col, wildcard)
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def _probs(self, tokens, col, wildcard) -> np.ndarray:
+        self.compile()
+        model = self.model
+        n = len(tokens)
+        lo, hi = model.offsets[col], model.offsets[col + 1]
+        cut = int(self._cuts[col])
+        if cut == 0:
+            # Column 0 (and any column no hidden unit feeds): bias only.
+            logits = np.broadcast_to(self._b_out[lo:hi], (n, hi - lo))
+            return softmax(np.array(logits, dtype=np.float32))
+
+        h = self._scratch(n, cut)[0]
+        wc = None if wildcard is None else np.ascontiguousarray(wildcard[:, :col])
+        for rows, wc_row, key in self._pattern_groups(wc, n, col):
+            const = self._pattern_const(key, wc_row, col)
+            if isinstance(rows, slice):
+                h[:, :cut] = const[:cut]
+                target = h[:, :cut]
+            else:
+                target = np.empty((len(rows), cut), dtype=np.float32)
+                target[:] = const[:cut]
+            constrained = (
+                np.arange(col) if wc_row is None else np.flatnonzero(~wc_row)
+            )
+            for i in constrained:
+                target += self._luts[i][tokens[rows, i], :cut]
+            if not isinstance(rows, slice):
+                h[rows, :cut] = target
+        return self._finish(h, col, cut)
+
+    def _finish(self, h, col: int, cut: int) -> np.ndarray:
+        """Blocks + sliced output head + softmax over a pre-activation ``h``.
+
+        ``h`` is an augmented ``(n, cut + 1)`` buffer whose last column is a
+        constant 1: every weight matrix carries its bias as an extra input
+        row (and propagates the ones column through itself), so the whole
+        residual stack runs as bare ``relu``/``matmul``/``add`` passes with
+        no separate bias traversals over the batch.
+        """
+        h[:, cut] = 1.0
+        _, r, a, t = self._scratch(len(h), cut)
+        for w1a, w2a in self._block_slices(cut):
+            np.maximum(h, 0.0, out=r)
+            np.matmul(r, w1a, out=a)
+            np.maximum(a, 0.0, out=a)
+            np.matmul(a, w2a, out=t)
+            h += t
+        np.maximum(h, 0.0, out=r)
+        logits = r @ self._out_head(col, cut)
+        # In-place fp32 softmax (shifted exps are <= 1, well inside range);
+        # downstream Monte Carlo draws work in the probs' own dtype.
+        logits -= logits.max(axis=1, keepdims=True)
+        np.exp(logits, out=logits)
+        logits /= logits.sum(axis=1, keepdims=True)
+        return logits
+
+    def _scratch(self, n: int, cut: int):
+        """Four contiguous ``(n, cut + 1)`` fp32 views over thread-local buffers.
+
+        The extra column carries the constant-1 bias input (see
+        :meth:`_finish`); buffers are reused across steps and calls.
+        """
+        loc = self._local
+        need = n * (cut + 1)
+        if getattr(loc, "capacity", 0) < need:
+            capacity = max(need, 2 * getattr(loc, "capacity", 0))
+            loc.h = np.empty(capacity, dtype=np.float32)
+            loc.r = np.empty(capacity, dtype=np.float32)
+            loc.a = np.empty(capacity, dtype=np.float32)
+            loc.t = np.empty(capacity, dtype=np.float32)
+            self._scratch_bytes += 4 * (capacity - getattr(loc, "capacity", 0)) * 4
+            loc.capacity = capacity
+        shape = (n, cut + 1)
+        return (
+            loc.h[:need].reshape(shape),
+            loc.r[:need].reshape(shape),
+            loc.a[:need].reshape(shape),
+            loc.t[:need].reshape(shape),
+        )
+
+    def _session_buffer(self, n: int) -> np.ndarray:
+        """A reusable ``(n, d_ff)`` fp32 fold buffer (thread-local pool)."""
+        loc = self._local
+        need = n * self.model.d_ff
+        if getattr(loc, "fold_capacity", 0) < need:
+            loc.fold = np.empty(need, dtype=np.float32)
+            self._scratch_bytes += (need - getattr(loc, "fold_capacity", 0)) * 4
+            loc.fold_capacity = need
+        return loc.fold[:need].reshape(n, self.model.d_ff)
+
+    def begin_session(self, tokens: np.ndarray, wildcard: np.ndarray) -> "FoldSession":
+        """Open an incremental-fold session over a batched sampling walk.
+
+        The batched engine fixes model columns monotonically; once every
+        query has passed column ``c``, row ``r``'s contribution from ``c``
+        (drawn token or MASK) never changes again. The session exploits
+        that: it keeps one running ``(n, d_ff)`` pre-activation buffer and
+        folds each column in exactly once — later steps gather their
+        prefix straight from the buffer instead of re-gathering every
+        earlier column per forward pass.
+        """
+        self.compile()
+        return FoldSession(self, tokens, wildcard)
+
+    def _block_slices(self, cut: int):
+        """Bias-augmented ``(cut+1)²`` block-weight corners per prefix width.
+
+        Row ``cut`` holds the bias, so ``x_aug @ W`` fuses the affine map
+        into one GEMM; the first matrix's last column regenerates the
+        constant-1 input for the second, whose last column is zero so the
+        residual add leaves the caller's ones column untouched.
+        """
+        entry = self._block_cut_cache.get(cut)
+        if entry is None:
+            entry = []
+            for w1t, b1, w2t, b2 in self._block_weights:
+                w1a = np.zeros((cut + 1, cut + 1), dtype=np.float32)
+                w1a[:cut, :cut] = w1t[:cut, :cut]
+                w1a[cut, :cut] = b1[:cut]
+                w1a[cut, cut] = 1.0
+                w2a = np.zeros((cut + 1, cut + 1), dtype=np.float32)
+                w2a[:cut, :cut] = w2t[:cut, :cut]
+                w2a[cut, :cut] = b2[:cut]
+                entry.append((w1a, w2a))
+            self._block_cut_cache[cut] = entry
+        return entry
+
+    def _out_head(self, col: int, cut: int) -> np.ndarray:
+        """Bias-augmented ``(cut+1, dom)`` output head for one sampling step."""
+        entry = self._out_head_cache.get(col)
+        if entry is None:
+            lo, hi = self.model.offsets[col], self.model.offsets[col + 1]
+            entry = np.empty((cut + 1, hi - lo), dtype=np.float32)
+            entry[:cut] = self._w_out[lo:hi, :cut].T
+            entry[cut] = self._b_out[lo:hi]
+            self._out_head_cache[col] = entry
+        return entry
+
+    def _multi_head(self, cols: tuple, cut: int):
+        """Concatenated bias-augmented heads for a multi-column pass.
+
+        Rows ``cut_c..cut`` of column ``c``'s span are exactly zero (the
+        MADE output mask forbids those units), so evaluating every head at
+        the shared width ``cut`` reproduces each per-column head.
+        """
+        entry = self._multi_head_cache.get(cols)
+        if entry is None:
+            offsets = self.model.offsets
+            spans, off = [], 0
+            total = int(sum(offsets[c + 1] - offsets[c] for c in cols))
+            head = np.zeros((cut + 1, total), dtype=np.float32)
+            for c in cols:
+                lo, hi = offsets[c], offsets[c + 1]
+                cut_c = int(self._cuts[c])
+                head[:cut_c, off : off + (hi - lo)] = self._w_out[lo:hi, :cut_c].T
+                head[cut, off : off + (hi - lo)] = self._b_out[lo:hi]
+                spans.append((off, off + (hi - lo)))
+                off += hi - lo
+            entry = (head, spans)
+            self._multi_head_cache[cols] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Wildcard-pattern bookkeeping
+    # ------------------------------------------------------------------
+    def _pattern_const(self, key, wc_row: Optional[np.ndarray], col: int) -> np.ndarray:
+        """Cached wildcard-constant vector for one pattern (bounded cache)."""
+        const = self._pattern_cache.get(key)
+        if const is None:
+            const = self._b_in.copy()
+            if wc_row is not None and wc_row.any():
+                const = const + self._mask_stack[:col][wc_row].sum(axis=0)
+            if len(self._pattern_cache) >= PATTERN_CACHE_LIMIT:
+                self._pattern_cache.clear()
+            self._pattern_cache[key] = const
+        return const
+    def _pattern_groups(self, wc: Optional[np.ndarray], n: int, col: int):
+        """Group rows by wildcard signature over columns ``< col``.
+
+        Yields ``(rows, wc_row, key)``: ``rows`` is a slice or index array,
+        ``wc_row`` the group's boolean wildcard prefix (None = fully
+        constrained), ``key`` the hashable cache key. Padding a pattern with
+        trailing non-wildcard columns does not change its key — which is
+        exactly right, because trailing constrained columns contribute via
+        gathers, not via the cached constant.
+        """
+        if wc is None or col == 0 or not wc.any():
+            return [(slice(None), None, 0)]
+        packed = np.packbits(wc, axis=1)
+        if packed.shape[1] <= 8:
+            if packed.shape[1] < 8:
+                pad = np.zeros((n, 8 - packed.shape[1]), dtype=np.uint8)
+                packed = np.ascontiguousarray(np.hstack([packed, pad]))
+            ids = packed.view(np.uint64).ravel()
+            if n == 1 or (ids == ids[0]).all():
+                return [(slice(None), wc[0], int(ids[0]))]
+            uniq, inverse = np.unique(ids, return_inverse=True)
+            groups = []
+            for g, key in enumerate(uniq):
+                rows = np.flatnonzero(inverse == g)
+                groups.append((rows, wc[rows[0]], int(key)))
+            return groups
+        # > 64 model columns: fall back to row-wise unique on the raw bytes.
+        uniq, inverse = np.unique(packed, axis=0, return_inverse=True)
+        groups = []
+        for g in range(len(uniq)):
+            rows = np.flatnonzero(inverse == g)
+            groups.append((rows, wc[rows[0]], uniq[g].tobytes()))
+        return groups
+
+    def warm_pattern(self, wc_row: np.ndarray, col: int) -> int:
+        """Seed the wildcard constant for one ``(pattern, step)``; 1 if new.
+
+        ``wc_row`` is the full wildcard row; only columns ``< col`` matter.
+        Used by plan pre-compilation so a registered query plan pays its
+        pattern-assembly cost before traffic arrives.
+        """
+        if self.mode == "fp64" or col == 0:
+            return 0
+        self.compile()
+        wc = np.ascontiguousarray(wc_row[None, :col], dtype=bool)
+        ((_, row, key),) = self._pattern_groups(wc, 1, col)
+        if key in self._pattern_cache:
+            return 0
+        self._pattern_const(key, row, col)
+        return 1
+
+
+class FoldSession:
+    """Incremental pre-activation state for one batched sampling walk.
+
+    Holds a running ``(n, d_ff)`` buffer initialized with the *all-wildcard*
+    pre-activation (bias + every column's MASK row, see ``_mask_base``);
+    :meth:`probs` lazily folds every finalized column ``< col`` into it by
+    replacing the column's MASK contribution with its token contribution on
+    the non-wildcard rows only — one small delta gather per column per
+    *walk* instead of a full-width gather per forward pass, and wildcard
+    rows cost nothing at all. A column's LUT rows are exactly zero on
+    hidden units of lower degree, so each fold only touches the buffer's
+    ``cut[col]:`` suffix.
+    """
+
+    __slots__ = ("compiled", "tokens", "wildcard", "buffer", "folded")
+
+    def __init__(self, compiled: CompiledResMADE, tokens, wildcard):
+        self.compiled = compiled
+        self.tokens = tokens
+        self.wildcard = wildcard
+        self.buffer = compiled._session_buffer(len(tokens))
+        self.buffer[:] = compiled._mask_base
+        self.folded = 0
+
+    def _fold(self, col: int) -> None:
+        rows = np.flatnonzero(~self.wildcard[:, col])
+        if len(rows):
+            self.fold_rows(col, rows, self.tokens[rows, col])
+        self.folded = max(self.folded, col + 1)
+
+    def fold_rows(self, col: int, rows: np.ndarray, ids) -> None:
+        """Replace ``col``'s MASK contribution with token ids on ``rows``.
+
+        ``ids`` may be an array (one token per row) or a scalar shared by
+        every row (deterministic columns). Used directly by the engine for
+        columns whose post-draw tokens are known up front.
+        """
+        c = self.compiled
+        cut = int(c._cuts[col])
+        mask_row = c._mask_stack[col][cut:]
+        if np.ndim(ids) == 0:
+            delta = c._luts[col][int(ids), cut:] - mask_row
+        else:
+            delta = c._luts[col][ids, cut:]
+            delta -= mask_row
+        self.buffer[rows, cut:] += delta
+        self.folded = max(self.folded, col + 1)
+
+    def fold_slices(self, col: int, slcs, token: int) -> None:
+        """Fold a shared token into contiguous row slices (indicator runs).
+
+        The delta is one constant row, so each participating query's slice
+        takes a contiguous broadcast add — no index arrays, no gathers.
+        """
+        c = self.compiled
+        cut = int(c._cuts[col])
+        delta = c._luts[col][int(token), cut:] - c._mask_stack[col][cut:]
+        for sl in slcs:
+            self.buffer[sl, cut:] += delta
+        self.folded = max(self.folded, col + 1)
+
+    def ensure_folded(self, col: int) -> None:
+        """Fold every finalized column ``< col`` from the live matrices."""
+        for prev in range(self.folded, col):
+            self._fold(prev)
+        self.folded = max(self.folded, col)
+
+    def probs(self, rows: np.ndarray, col: int) -> np.ndarray:
+        """``p(X_col | finalized prefix)`` for the given global row ids."""
+        c = self.compiled
+        self.ensure_folded(col)
+        cut = int(c._cuts[col])
+        lo, hi = c.model.offsets[col], c.model.offsets[col + 1]
+        if cut == 0:
+            logits = np.broadcast_to(c._b_out[lo:hi], (len(rows), hi - lo))
+            return softmax(np.array(logits, dtype=np.float32))
+        h = c._scratch(len(rows), cut)[0]
+        h[:, :cut] = self.buffer[rows, :cut]
+        return c._finish(h, col, cut)
+
+    def probs_multi(self, rows: np.ndarray, cols) -> list:
+        """Conditionals for several columns from one shared blocks pass.
+
+        Valid when every column in ``cols`` already has its predecessors
+        folded (``folded >= cols[-1]``): the blocks run once at the widest
+        column's prefix, and each column reads its own (zero-padded) output
+        head. Hidden units of degree ``>= c`` carry exactly-zero output
+        weights for column ``c``, so the wider pass computes the same
+        logits the per-column kernel would.
+        """
+        c = self.compiled
+        cut = int(c._cuts[cols[-1]])
+        if cut == 0:
+            return [self.probs(rows, col) for col in cols]
+        h = c._scratch(len(rows), cut)[0]
+        h[:, :cut] = self.buffer[rows, :cut]
+        head, spans = c._multi_head(tuple(cols), cut)
+        h[:, cut] = 1.0
+        _, r, a, t = c._scratch(len(rows), cut)
+        for w1a, w2a in c._block_slices(cut):
+            np.maximum(h, 0.0, out=r)
+            np.matmul(r, w1a, out=a)
+            np.maximum(a, 0.0, out=a)
+            np.matmul(a, w2a, out=t)
+            h += t
+        np.maximum(h, 0.0, out=r)
+        logits = r @ head
+        out = []
+        for lo, hi in spans:
+            piece = logits[:, lo:hi]
+            piece -= piece.max(axis=1, keepdims=True)
+            np.exp(piece, out=piece)
+            piece /= piece.sum(axis=1, keepdims=True)
+            out.append(piece)
+        return out

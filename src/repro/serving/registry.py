@@ -28,7 +28,6 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.core.estimator import NeuroCard
-from repro.core.progressive import ProgressiveSampler
 from repro.errors import ServingError
 from repro.relational.schema import JoinSchema
 
@@ -125,6 +124,9 @@ class ModelRegistry:
                 from repro.core.persistence import load_model  # cycle-free at call time
 
                 loaded = load_model(path, schema)
+                # Fold the serving kernels before the model goes live, so
+                # the first request after a lazy load is already compiled.
+                loaded.precompile()
                 with self._lock:
                     # A swap may have raced the load; the swapped-in model
                     # wins and the stale load is discarded.
@@ -169,6 +171,11 @@ class ModelRegistry:
         """
         if not estimator.is_fitted:
             raise ServingError(f"swap({name!r}) requires a fitted estimator")
+        # Compile outside the registry lock so a slow fold never stalls
+        # lookups; duck-typed test models without the hook are fine.
+        precompile = getattr(estimator, "precompile", None)
+        if precompile is not None:
+            precompile()
         with self._lock:
             entry = self._entry(name)
             entry.model = estimator
@@ -203,9 +210,10 @@ class ModelRegistry:
         # layout, |J|) is copied; a fresh engine is rebuilt on the copy.
         memo = {id(current.inference): None}
         candidate = copy.deepcopy(current, memo)
-        candidate.inference = ProgressiveSampler(
-            candidate.model, candidate.layout, candidate.counts.full_join_size
-        )
+        # Rebuild through the estimator's own engine factory so the copy
+        # gets fresh compiled kernels (never the live model's, and never
+        # ones folded from pre-update weights — update() rebuilds again).
+        candidate.inference = candidate.build_inference()
         candidate.update(new_schema, train_tuples=train_tuples)
         return self.swap(name, candidate)
 

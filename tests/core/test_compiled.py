@@ -1,0 +1,221 @@
+"""Compiled inference engine: kernel equivalence, plan caches, lifecycle.
+
+The uncompiled path is the correctness oracle throughout: ``fp64`` mode
+must match it bitwise (same executor, reference forward), ``fp32`` mode to
+fp32 round-off on conditionals and estimates, and the dynamic caches
+(wildcard-pattern constants, per-step kernels, fold sessions) must never
+leak state across queries, calls, or weight changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import NeuroCard
+from repro.core.inference import (
+    CompiledEngine,
+    build_engine,
+    compiled_model,
+    compiled_size_bytes,
+    precompile_plan,
+)
+from repro.core.progressive import ProgressiveSampler
+from repro.errors import EstimationError
+from repro.nn.compiled import CompiledResMADE
+from repro.relational.predicate import Predicate
+from repro.relational.query import Query
+from tests.core.oracle import OracleModel
+from tests.core.test_batched import mixed_workload
+from tests.core.test_estimator import correlated_schema, small_config
+from tests.core.test_progressive_oracle import rich_schema
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    schema = correlated_schema(n_root=120, seed=1)
+    config = small_config(
+        train_tuples=15_000, sampler_threads=1, progressive_samples=96
+    )
+    return schema, NeuroCard(schema, config).fit()
+
+
+def workload():
+    return [
+        Query.make(["R"], [Predicate("R", "year", ">=", 1995)]),
+        Query.make(["R", "C1"], [Predicate("C1", "kind", "=", 1)]),
+        Query.make(["R", "C2"], [Predicate("C2", "score", "<", 10)]),
+        Query.make(["R", "C1"], [Predicate("R", "year", "IN", (1991, 1996))]),
+        Query.make(["C1"], []),
+        Query.make(["R", "C1", "C2"], [Predicate("R", "year", "<", 1994)]),
+    ]
+
+
+def engines(estimator, *modes):
+    J = estimator.counts.full_join_size
+    return [
+        build_engine(estimator.model, estimator.layout, J, mode) for mode in modes
+    ]
+
+
+def batch(engine, queries, n=96, base_seed=700):
+    return engine.estimate_batch(
+        queries, n_samples=n,
+        rngs=[np.random.default_rng(base_seed + i) for i in range(len(queries))],
+    )
+
+
+class TestKernelEquivalence:
+    def test_fp32_conditionals_match_reference(self, fitted):
+        """Folded LUT kernels reproduce the reference forward to fp32 noise."""
+        _, estimator = fitted
+        model = estimator.model
+        compiled = CompiledResMADE(model, mode="fp32")
+        rng = np.random.default_rng(3)
+        tokens = np.column_stack([rng.integers(0, d, 64) for d in model.domains])
+        wildcard = rng.random((64, model.n_columns)) < 0.5
+        for col in range(model.n_columns):
+            for wc in (wildcard, None):
+                ref = model.column_conditional(tokens, col, wc)
+                got = compiled.column_conditional(tokens, col, wc)
+                np.testing.assert_allclose(got, ref, rtol=1e-4, atol=1e-6)
+
+    def test_scratch_reuse_is_bitwise_stable(self, fitted):
+        """Reused fp32 scratch buffers never bleed between calls."""
+        _, estimator = fitted
+        compiled = CompiledResMADE(estimator.model, mode="fp32")
+        rng = np.random.default_rng(5)
+        model = estimator.model
+        tokens = np.column_stack([rng.integers(0, d, 40) for d in model.domains])
+        wildcard = rng.random((40, model.n_columns)) < 0.3
+        col = model.n_columns - 1
+        first = compiled.column_conditional(tokens, col, wildcard)
+        # Interleave a differently-shaped call, then repeat the original.
+        compiled.column_conditional(tokens[:7], 2, wildcard[:7])
+        again = compiled.column_conditional(tokens, col, wildcard)
+        assert np.array_equal(first, again)
+
+    def test_fp64_oracle_engine_bitwise_on_trained_model(self, fitted):
+        _, estimator = fitted
+        ref, oracle = engines(estimator, "off", "fp64")
+        queries = workload()
+        np.testing.assert_array_equal(batch(ref, queries), batch(oracle, queries))
+
+    @pytest.mark.parametrize("bits", [None, 2], ids=["flat", "factorized"])
+    def test_fp64_executor_bitwise_on_tabular_oracle(self, bits):
+        """The restructured executor (vectorized draws, one-pass apply,
+        indicator batching off) is exact against the PR-1 reference loop
+        under the deterministic tabular oracle."""
+        schema = rich_schema(seed=3)
+        oracle = OracleModel(schema, factorization_bits=bits)
+        reference = ProgressiveSampler(oracle, oracle.layout, oracle.full_join_size)
+        compiled = CompiledEngine(
+            oracle, oracle.layout, oracle.full_join_size, mode="fp64"
+        )
+        queries = mixed_workload()
+        np.testing.assert_array_equal(
+            batch(reference, queries, n=200), batch(compiled, queries, n=200)
+        )
+
+    def test_fp32_estimates_within_tolerance(self, fitted):
+        _, estimator = fitted
+        ref, fast = engines(estimator, "off", "fp32")
+        queries = workload()
+        a, b = batch(ref, queries), batch(fast, queries)
+        rel = np.abs(b - a) / np.maximum(np.abs(a), 1e-12)
+        assert np.median(rel) <= 1e-4
+        assert np.quantile(rel, 0.9) <= 1e-3
+
+
+class TestPlanCaches:
+    def test_wildcard_patterns_do_not_leak_across_queries(self, fitted):
+        """Warm caches (patterns seeded by other queries' plans) must give
+        the same bits as a cold engine for every wildcard set."""
+        _, estimator = fitted
+        (fast,) = engines(estimator, "fp32")
+        queries = workload()
+        warm_first = batch(fast, queries)
+        warm_again = batch(fast, queries)  # every cache hot now
+        (cold,) = engines(estimator, "fp32")
+        cold_run = batch(cold, queries)
+        np.testing.assert_array_equal(warm_first, warm_again)
+        np.testing.assert_array_equal(warm_again, cold_run)
+
+    def test_distinct_wildcard_sets_get_distinct_patterns(self, fitted):
+        """Two wildcard sets at one step never share a cached constant."""
+        _, estimator = fitted
+        model = estimator.model
+        compiled = CompiledResMADE(model, mode="fp32")
+        col = model.n_columns - 1
+        a = np.zeros(model.n_columns, dtype=bool)
+        b = np.zeros(model.n_columns, dtype=bool)
+        a[0] = True
+        b[1] = True
+        assert compiled.warm_pattern(a, col) == 1
+        assert compiled.warm_pattern(b, col) == 1  # distinct key, new entry
+        assert compiled.warm_pattern(a, col) == 0  # cached
+        # A mixed batch splits into per-pattern groups and matches the
+        # reference forward row for row.
+        rng = np.random.default_rng(7)
+        tokens = np.column_stack([rng.integers(0, d, 8) for d in model.domains])
+        wildcard = np.vstack([np.tile(a, (4, 1)), np.tile(b, (4, 1))])
+        np.testing.assert_allclose(
+            compiled.column_conditional(tokens, col, wildcard),
+            model.column_conditional(tokens, col, wildcard),
+            rtol=1e-4, atol=1e-6,
+        )
+
+    def test_precompile_plan_seeds_patterns_without_changing_results(self, fitted):
+        _, estimator = fitted
+        cold, warmed = engines(estimator, "fp32", "fp32")
+        query = workload()[1]
+        seeded = precompile_plan(warmed, warmed.plan(query))
+        assert seeded > 0
+        assert precompile_plan(warmed, warmed.plan(query)) == 0  # idempotent
+        a = cold.estimate(query, n_samples=64, rng=np.random.default_rng(9))
+        b = warmed.estimate(query, n_samples=64, rng=np.random.default_rng(9))
+        assert a == b
+
+
+class TestLifecycle:
+    def test_lazy_compile_and_size_accounting(self, fitted):
+        schema, _ = fitted
+        config = small_config(
+            train_tuples=2_000, sampler_threads=1, progressive_samples=32
+        )
+        estimator = NeuroCard(schema, config).fit()
+        assert compiled_size_bytes(estimator.inference) == 0  # not folded yet
+        assert estimator.size_bytes == estimator.model.size_bytes
+        before = estimator.estimate(workload()[0], rng=np.random.default_rng(4))
+        extra = compiled_size_bytes(estimator.inference)
+        assert extra > 0
+        assert estimator.size_bytes == estimator.model.size_bytes + extra
+        stats = compiled_model(estimator.inference).stats()
+        assert stats["compiled"] == 1 and stats["size_bytes"] == extra
+
+        estimator.invalidate_compiled()
+        assert compiled_size_bytes(estimator.inference) == 0
+        again = estimator.estimate(workload()[0], rng=np.random.default_rng(4))
+        assert before == again  # refolding identical weights is exact
+
+    def test_estimate_routes_through_batched_engine(self, fitted):
+        _, estimator = fitted
+        query = workload()[2]
+        direct = estimator.estimate(query, rng=np.random.default_rng(11))
+        pinned = estimator.inference.estimate_batch(
+            [query],
+            n_samples=estimator.config.progressive_samples,
+            rngs=[np.random.default_rng(11)],
+        )[0]
+        assert direct == pinned
+
+    def test_compile_modes_and_validation(self, fitted):
+        schema, estimator = fitted
+        off = NeuroCard(schema, small_config(train_tuples=1_000)).fit(compile=False)
+        assert off.inference.model is off.model  # raw reference engine
+        assert compiled_model(off.inference) is None
+        assert isinstance(estimator.inference, CompiledEngine)  # default fp32
+        with pytest.raises(EstimationError):
+            build_engine(
+                estimator.model, estimator.layout, estimator.full_join_size, "fp16"
+            )
+        with pytest.raises(EstimationError):
+            CompiledResMADE(object(), mode="fp32")

@@ -122,9 +122,17 @@ class TestEndToEnd:
         assert est_bad < 0.15 * est_good
 
     def test_size_accounting(self, fitted):
+        """size_bytes = weights + compiled inference buffers (once folded)."""
+        from repro.core.inference import compiled_size_bytes
+
         _, estimator = fitted
         assert estimator.size_mb > 0
-        assert estimator.size_bytes == estimator.model.size_bytes
+        extra = compiled_size_bytes(estimator.inference)
+        assert estimator.size_bytes == estimator.model.size_bytes + extra
+        # Earlier tests in this class ran estimates, so the lazily compiled
+        # kernels (default fp32 mode) are resident and accounted for.
+        estimator.estimate(Query.make(["R"]), rng=np.random.default_rng(0))
+        assert estimator.size_bytes > estimator.model.size_bytes
 
 
 class TestAPI:

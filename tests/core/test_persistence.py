@@ -158,6 +158,42 @@ class TestCompatibilityValidation:
             load_model(path, schema)
 
 
+class TestCompiledCacheExemption:
+    """Compiled kernels are derived state: never persisted, lazily refolded."""
+
+    def test_artifact_stays_v2_and_excludes_compiled_buffers(self, trained, tmp_path):
+        from repro.core.inference import compiled_size_bytes
+
+        schema, estimator = trained
+        query = Query.make(["R", "C1"], [Predicate("C1", "kind", "=", 1)])
+        estimator.estimate(query, rng=np.random.default_rng(2))  # fold kernels
+        assert compiled_size_bytes(estimator.inference) > 0
+        path = save_model(estimator, tmp_path / "compiled.npz")
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+            assert meta["format_version"] == 2
+            assert all(
+                key == "__meta__" or key.startswith("param::") for key in data.files
+            )
+
+    def test_load_recompiles_lazily_from_loaded_weights(self, trained, tmp_path):
+        from repro.core.inference import compiled_size_bytes
+
+        schema, estimator = trained
+        path = save_model(estimator, tmp_path / "lazy.npz")
+        loaded = load_model(path, schema)
+        # Nothing folded at load time — especially nothing folded from the
+        # throwaway initialization load_model trains before copying weights.
+        assert compiled_size_bytes(loaded.inference) == 0
+        query = Query.make(["R"], [Predicate("R", "year", ">=", 1995)])
+        a = estimator.estimate(query, rng=np.random.default_rng(6))
+        b = loaded.estimate(query, rng=np.random.default_rng(6))
+        # First estimate folds kernels from the *loaded* weights; identical
+        # weights + pinned stream = identical estimate.
+        assert a == pytest.approx(b, rel=1e-9)
+        assert compiled_size_bytes(loaded.inference) > 0
+
+
 def _corrupt_meta(path, mutate) -> None:
     """Rewrite the artifact's __meta__ blob in place (test-only tampering)."""
     with np.load(path) as data:

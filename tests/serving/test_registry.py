@@ -53,7 +53,12 @@ class TestLazyLoadAndEviction:
     def test_eviction_by_size_budget(self, tiny_trained, tmp_path):
         schema, estimator = tiny_trained
         path = save_model(estimator, tmp_path / "m.npz")
-        budget = int(estimator.size_bytes * 1.5)  # fits one, not two
+        # Probe the resident footprint of one loaded model (weights plus
+        # the compiled inference buffers folded on load) so the budget
+        # fits exactly one of them, not two.
+        probe = ModelRegistry()
+        probe.register_path("probe", path, schema)
+        budget = int(probe.get("probe").size_bytes * 1.5)  # fits one, not two
         registry = ModelRegistry(budget_bytes=budget)
         registry.register_path("a", path, schema)
         registry.register_path("b", path, schema)
@@ -107,6 +112,37 @@ class TestHotSwap:
         refreshed = registry.get("m")
         assert refreshed is not estimator
         assert refreshed.is_fitted
+
+    def test_refresh_rebuilds_compiled_state(self, tiny_trained):
+        """Hot-swap must never serve kernels folded from pre-update weights."""
+        from repro.core.inference import build_engine, compiled_model
+
+        schema, estimator = tiny_trained
+        registry = ModelRegistry()
+        registry.register("m", estimator)
+        old_engine = registry.get("m").inference
+        registry.refresh("m", schema, train_tuples=1_024)
+        refreshed = registry.get("m")
+        new_compiled = compiled_model(refreshed.inference)
+        assert refreshed.inference is not old_engine
+        assert new_compiled is not compiled_model(old_engine)
+        # swap() precompiles before publishing: the first request after a
+        # hot-swap is already on folded kernels.
+        assert new_compiled.is_compiled
+        # And those kernels reflect the refreshed weights: a fresh engine
+        # built from the refreshed model must agree bitwise.
+        query = Query.make(["R"])
+        fresh = build_engine(
+            refreshed.model, refreshed.layout,
+            refreshed.counts.full_join_size, "fp32",
+        )
+        served = refreshed.estimate(query, rng=np.random.default_rng(21))
+        rebuilt = fresh.estimate_batch(
+            [query],
+            n_samples=refreshed.config.progressive_samples,
+            rngs=[np.random.default_rng(21)],
+        )[0]
+        assert served == rebuilt
 
     def test_hot_swap_under_concurrent_submit_no_torn_reads(self):
         """Every result is wholly from one model generation, never mixed."""
