@@ -11,6 +11,13 @@ from repro.core.estimator import NeuroCard
 from repro.core.factorization import Factorizer
 from repro.core.inference import build_engine, compiled_model, precompile_plan
 from repro.core.progressive import ProgressiveSampler
+from repro.core.refresh import (
+    RefreshOutcome,
+    clone_estimator,
+    fast_refresh,
+    fast_refresh_budget,
+    full_retrain,
+)
 from repro.core.regions import Region
 
 __all__ = [
@@ -19,7 +26,12 @@ __all__ = [
     "Factorizer",
     "ProgressiveSampler",
     "Region",
+    "RefreshOutcome",
     "build_engine",
+    "clone_estimator",
     "compiled_model",
+    "fast_refresh",
+    "fast_refresh_budget",
+    "full_retrain",
     "precompile_plan",
 ]

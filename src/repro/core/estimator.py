@@ -40,6 +40,34 @@ from repro.relational.query import Query
 from repro.relational.schema import JoinSchema
 
 
+def _throttled_batches(get_batch, duty: float):
+    """Wrap a batch source so training runs at a ``duty`` cycle (0 < duty < 1).
+
+    Before each fetch, sleeps proportionally to the time the training thread
+    was busy since the previous fetch (one gradient step + sampling), so the
+    trainer holds the GIL for roughly ``duty`` of its wall time and
+    concurrent serving threads keep the rest. Pure pacing: with a
+    single-threaded sampler the batch sequence, and therefore the trained
+    weights, are bitwise those of an unthrottled run — only wall time
+    stretches (by ~1/duty). A multi-worker ``ThreadedSampler`` interleaves
+    producer batches timing-dependently either way, so there pacing changes
+    the (identically distributed) batch order like any other scheduling
+    noise would.
+    """
+    last = [time.perf_counter()]
+
+    def wrapped():
+        busy = time.perf_counter() - last[0]
+        delay = busy * (1.0 - duty) / duty
+        if delay > 0:
+            time.sleep(min(delay, 0.25))  # cap one-off stalls (setup, GC)
+        batch = get_batch()
+        last[0] = time.perf_counter()
+        return batch
+
+    return wrapped
+
+
 class NeuroCard:
     """A single learned cardinality estimator for all tables of a schema."""
 
@@ -57,6 +85,11 @@ class NeuroCard:
         self._optimizer: Optional[Adam] = None
         self._rng = np.random.default_rng(self.config.seed + 1)
         self._compile_mode = self.config.compiled_inference
+        #: Monotonic id of the data snapshot this estimator was last trained
+        #: on. 0 is the fit() snapshot; the streaming-ingest layer stamps
+        #: its own versions through :meth:`update` so freshness is
+        #: observable (and persisted — see ``core.persistence``).
+        self.data_version = 0
 
     # ------------------------------------------------------------------
     @property
@@ -127,8 +160,16 @@ class NeuroCard:
             self.model, self.layout, self.counts.full_join_size, self._compile_mode
         )
 
-    def _train(self, n_tuples: int) -> None:
+    @staticmethod
+    def _check_throttle(throttle: Optional[float]) -> None:
+        if throttle is not None and not (0.0 < throttle <= 1.0):
+            raise EstimationError(
+                f"throttle must be in (0, 1] (duty cycle); got {throttle!r}"
+            )
+
+    def _train(self, n_tuples: int, throttle: Optional[float] = None) -> None:
         cfg = self.config
+        self._check_throttle(throttle)
         if self._optimizer is not None and self._optimizer.t > 0:
             # Incremental update: re-anchor the LR schedule so the extra
             # steps get a fresh warmup+decay segment instead of sitting at
@@ -139,13 +180,19 @@ class NeuroCard:
         # threaded path, produced off the training thread). Rebuilt per
         # train call because updates swap in new snapshot tables.
         fused = FusedEncoder(self.layout, self.sampler)
+
+        def paced(get_batch):
+            if throttle is None or throttle >= 1.0:
+                return get_batch
+            return _throttled_batches(get_batch, throttle)
+
         if cfg.sampler_threads > 1:
             with ThreadedSampler(
                 self.sampler, cfg.batch_size, n_threads=cfg.sampler_threads,
                 seed=cfg.seed, encode=fused.encode_row_ids,
             ) as threaded:
                 result = train_autoregressive(
-                    self.model, self.layout, threaded.get_batch,
+                    self.model, self.layout, paced(threaded.get_batch),
                     n_tuples, cfg.batch_size, cfg.learning_rate,
                     cfg.wildcard_skipping, cfg.seed, optimizer=self._optimizer,
                 )
@@ -153,9 +200,9 @@ class NeuroCard:
             rng = np.random.default_rng(cfg.seed)
             result = train_autoregressive(
                 self.model, self.layout,
-                lambda: fused.encode_row_ids(
+                paced(lambda: fused.encode_row_ids(
                     self.sampler.sample_row_id_matrix(cfg.batch_size, rng)
-                ),
+                )),
                 n_tuples, cfg.batch_size, cfg.learning_rate,
                 cfg.wildcard_skipping, cfg.seed, optimizer=self._optimizer,
             )
@@ -245,7 +292,13 @@ class NeuroCard:
 
     # ------------------------------------------------------------------
     def update(
-        self, new_schema: JoinSchema, train_tuples: Optional[int] = None
+        self,
+        new_schema: JoinSchema,
+        train_tuples: Optional[int] = None,
+        *,
+        fraction: Optional[float] = None,
+        data_version: Optional[int] = None,
+        throttle: Optional[float] = None,
     ) -> "NeuroCard":
         """Ingest a new data snapshot and incrementally train (§7.6).
 
@@ -253,9 +306,24 @@ class NeuroCard:
         update pipeline produces partition-append snapshots whose dictionaries
         are fixed upfront); join counts, |J|, and the sampler are rebuilt,
         then the existing model takes additional gradient steps.
+
+        The incremental budget is ``train_tuples`` when given, else
+        ``fraction`` of the config's original budget (the paper's fast
+        strategy uses ~1%), else no training at all (counts/sampler rebuild
+        only). ``data_version`` stamps :attr:`data_version` so serving
+        layers can observe which snapshot generation the weights reflect;
+        omitted, it bumps by one. ``throttle`` (0 < duty <= 1) paces the
+        gradient steps so a background refresh shares the GIL with serving
+        threads instead of starving them; with ``sampler_threads=1`` the
+        trained weights are bitwise those of an unthrottled run (a threaded
+        sampler's batch interleaving is timing-dependent with or without
+        pacing).
         """
         if not self.is_fitted:
             raise EstimationError("call fit() before update()")
+        # Pure-argument check up front: rejecting it after the schema and
+        # sampler swaps below would leave a half-updated estimator.
+        self._check_throttle(throttle)
         for name, table in new_schema.tables.items():
             old = self.schema.table(name)
             for col_name in old.column_names:
@@ -267,14 +335,24 @@ class NeuroCard:
                         f"update changed domain of {name}.{col_name}; "
                         "snapshots must share dictionaries"
                     )
+        if train_tuples is None and fraction is not None:
+            from repro.core.refresh import fast_refresh_budget
+
+            train_tuples = fast_refresh_budget(self.config, fraction)
         self.schema = new_schema
         start = time.perf_counter()
         self.counts = JoinCounts(new_schema)
-        self.sampler = FullJoinSampler(new_schema, self.counts, specs=self.sampler.specs)
+        # Reuse the existing sampler's specs and concrete class; streaming
+        # ingests route appended fragments through the same vectorized
+        # machinery (see FullJoinSampler.for_snapshot for the strict path).
+        self.sampler = self.sampler.rebuilt(new_schema, self.counts)
         self.layout.schema = new_schema
         self.prepare_seconds += time.perf_counter() - start
         if train_tuples and train_tuples > 0:
-            self._train(train_tuples)
+            self._train(train_tuples, throttle=throttle)
+        self.data_version = (
+            data_version if data_version is not None else self.data_version + 1
+        )
         # A fresh engine also discards compiled kernels folded from the
         # pre-update weights.
         self.inference = self.build_inference()

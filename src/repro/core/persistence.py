@@ -29,8 +29,12 @@ from repro.relational.schema import JoinSchema
 
 #: v1 artifacts lack the per-column ``columns`` map; they still load, with
 #: compatibility enforced by the (post-build) layout-domain check only.
-_FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+#: v3 adds versioned ``snapshot`` metadata (data_version + per-table row
+#: counts + training telemetry) so serving layers can judge an artifact's
+#: freshness against a live snapshot without loading any weights; v1/v2
+#: artifacts still load, with data_version defaulting to 0.
+_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def _schema_columns(schema: JoinSchema) -> dict:
@@ -64,6 +68,21 @@ def _check_columns(schema: JoinSchema, saved: dict) -> None:
                 )
 
 
+def _npz_path(path: str | Path) -> Path:
+    """Artifact path with the ``.npz`` suffix numpy's loader expects."""
+    return Path(path) if str(path).endswith(".npz") else Path(f"{path}.npz")
+
+
+def _parse_meta(data) -> dict:
+    """Decode and version-check the ``__meta__`` blob of an open artifact."""
+    meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+    if meta.get("format_version") not in _SUPPORTED_VERSIONS:
+        raise PersistenceError(
+            f"unsupported model format {meta.get('format_version')!r}"
+        )
+    return meta
+
+
 def save_model(estimator: NeuroCard, path: str | Path) -> Path:
     """Serialize a fitted estimator's weights + config to ``path`` (.npz)."""
     if not estimator.is_fitted:
@@ -81,6 +100,18 @@ def save_model(estimator: NeuroCard, path: str | Path) -> Path:
         "domains": estimator.layout.domains,
         "tables": sorted(estimator.schema.tables),
         "columns": _schema_columns(estimator.schema),
+        "snapshot": {
+            "data_version": int(estimator.data_version),
+            "n_rows": {
+                name: int(table.n_rows)
+                for name, table in sorted(estimator.schema.tables.items())
+            },
+            "tuples_seen": (
+                int(estimator.train_result.tuples_seen)
+                if estimator.train_result is not None
+                else 0
+            ),
+        },
     }
     np.savez_compressed(path, __meta__=np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
@@ -97,12 +128,8 @@ def load_model(path: str | Path, schema: JoinSchema) -> NeuroCard:
     configs are rejected with a :class:`PersistenceError` before any model
     is built or weights are read.
     """
-    with np.load(Path(path) if str(path).endswith(".npz") else f"{path}.npz") as data:
-        meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
-        if meta.get("format_version") not in _SUPPORTED_VERSIONS:
-            raise PersistenceError(
-                f"unsupported model format {meta.get('format_version')!r}"
-            )
+    with np.load(_npz_path(path)) as data:
+        meta = _parse_meta(data)
         if sorted(schema.tables) != meta["tables"]:
             raise PersistenceError(
                 "schema tables do not match the saved estimator: "
@@ -138,9 +165,30 @@ def load_model(path: str | Path, schema: JoinSchema) -> NeuroCard:
             if saved.shape != param.value.shape:
                 raise PersistenceError(f"shape mismatch for {param.name}")
             param.value[...] = saved
+        estimator.data_version = int(
+            meta.get("snapshot", {}).get("data_version", 0)
+        )
     # Compiled inference buffers are derived state: they are never written
-    # to the artifact (format stays v2) and anything folded from fit()'s
-    # throwaway initialization above is now stale. Drop it; kernels refold
-    # lazily from the loaded weights on the first estimate.
+    # to the artifact and anything folded from fit()'s throwaway
+    # initialization above is now stale. Drop it; kernels refold lazily
+    # from the loaded weights on the first estimate.
     estimator.invalidate_compiled()
     return estimator
+
+
+def read_snapshot_metadata(path: str | Path) -> dict:
+    """The artifact's ``snapshot`` metadata without loading any weights.
+
+    Returns ``{"data_version": int, "n_rows": {table: int}, "tuples_seen":
+    int}`` (all-zero/empty for pre-v3 artifacts). The background refresher
+    uses this to decide whether a saved model is already fresh enough for a
+    live snapshot before paying a multi-second load.
+    """
+    with np.load(_npz_path(path)) as data:
+        meta = _parse_meta(data)
+    snapshot = meta.get("snapshot", {})
+    return {
+        "data_version": int(snapshot.get("data_version", 0)),
+        "n_rows": {k: int(v) for k, v in snapshot.get("n_rows", {}).items()},
+        "tuples_seen": int(snapshot.get("tuples_seen", 0)),
+    }

@@ -128,16 +128,19 @@ def _evaluate_concurrent(
     n = len(queries)
     estimates = [0.0] * n
     latencies = [0.0] * n
-    failures: List[BaseException] = []
+    failures: List[tuple] = []  # (query_index, underlying exception)
+    failures_lock = threading.Lock()
 
     def client(cid: int) -> None:
+        i = cid
         try:
             for i in range(cid, n, concurrency):
                 start = time.perf_counter()
                 estimates[i] = float(service.submit(queries[i]).result())
                 latencies[i] = (time.perf_counter() - start) * 1e3
         except BaseException as exc:  # re-raised on the caller's thread
-            failures.append(exc)
+            with failures_lock:
+                failures.append((i, exc))
 
     threads = [
         threading.Thread(target=client, args=(cid,)) for cid in range(concurrency)
@@ -148,7 +151,12 @@ def _evaluate_concurrent(
         t.join()
     if failures:
         # Never report fabricated zeros for queries a dead client skipped.
-        raise failures[0]
+        # Surface the *first* underlying exception (lowest failing query
+        # index — deterministic, unlike thread completion order) with its
+        # original traceback, mirroring SamplerError's chaining contract:
+        # callers see what actually broke, not a generic future error.
+        failures.sort(key=lambda pair: pair[0])
+        raise failures[0][1]
     for estimate, latency, truth in zip(estimates, latencies, truths):
         result.errors.append(q_error(estimate, truth))
         result.latencies_ms.append(latency)

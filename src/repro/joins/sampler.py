@@ -153,6 +153,14 @@ class FullJoinSampler:
             for e in self._edges_topdown
         }
         self._tindex = {t: j for j, t in enumerate(self._order)}
+        # Append bookkeeping: per-table row counts at construction time.
+        # Streaming ingest appends rows *after* these watermarks, so an
+        # updated snapshot can be verified as a pure append (prefix rows
+        # untouched) and routed through :meth:`for_snapshot` instead of a
+        # from-scratch sampler build.
+        self.row_watermarks: Dict[str, int] = {
+            t: schema.table(t).n_rows for t in self._order
+        }
         # Fragment descent weights: for each table, the table *indices* of
         # its children (in child_edges order) and the cumulative NF values —
         # used when an orphan fragment is known to live strictly below a
@@ -183,6 +191,77 @@ class FullJoinSampler:
     def table_order(self) -> List[str]:
         """Column order of :meth:`sample_row_id_matrix` (schema BFS order)."""
         return list(self._order)
+
+    # ------------------------------------------------------------------
+    # Append-aware snapshot routing (streaming ingest, §7.6)
+    # ------------------------------------------------------------------
+    def verify_append(self, new_schema: JoinSchema) -> Dict[str, int]:
+        """Check ``new_schema`` is a pure append of this sampler's snapshot.
+
+        A pure append keeps every existing row bitwise in place (codes up to
+        this sampler's :attr:`row_watermarks` are unchanged) and keeps every
+        column's dictionary, so one model vocabulary covers both snapshots
+        and only the appended suffix is new data. Returns the number of
+        appended rows per table; raises :class:`DataError` naming the first
+        offending table/column otherwise.
+        """
+        appended: Dict[str, int] = {}
+        for name in self._order:
+            old = self.schema.table(name)
+            new = new_schema.table(name)
+            watermark = self.row_watermarks[name]
+            if new.n_rows < watermark:
+                raise DataError(
+                    f"table {name!r} shrank from {watermark} to {new.n_rows} "
+                    "rows; snapshots must be append-only"
+                )
+            if old.column_names != new.column_names:
+                raise DataError(
+                    f"table {name!r} changed columns; snapshots must share layout"
+                )
+            for col in old.column_names:
+                ocol, ncol = old.column(col), new.column(col)
+                if ocol.domain_size != ncol.domain_size:
+                    raise DataError(
+                        f"column {name}.{col} dictionary changed "
+                        f"({ocol.domain_size} != {ncol.domain_size} codes); "
+                        "snapshots must share dictionaries"
+                    )
+                if not np.array_equal(ocol.codes[:watermark], ncol.codes[:watermark]):
+                    raise DataError(
+                        f"column {name}.{col} mutated existing rows; snapshots "
+                        "must be append-only"
+                    )
+            appended[name] = new.n_rows - watermark
+        return appended
+
+    def rebuilt(
+        self, new_schema: JoinSchema, counts: Optional[JoinCounts] = None
+    ) -> "FullJoinSampler":
+        """A sampler over a new snapshot, reusing this one's column specs.
+
+        Preserves the concrete sampler class, so biased ablation samplers
+        survive refreshes too. The snapshot must share dictionaries with the
+        old one (callers enforce this; :meth:`for_snapshot` additionally
+        proves the pure-append contract).
+        """
+        return type(self)(
+            new_schema,
+            counts if counts is not None else JoinCounts(new_schema),
+            specs=self.specs,
+        )
+
+    def for_snapshot(
+        self, new_schema: JoinSchema, counts: Optional[JoinCounts] = None
+    ) -> "FullJoinSampler":
+        """A sampler over an *appended* snapshot (streaming-ingest path).
+
+        Validates the append contract (:meth:`verify_append`) so the
+        vectorized fragment-routing arrays are rebuilt from a snapshot known
+        to extend — never rewrite — the rows this sampler was built on.
+        """
+        self.verify_append(new_schema)
+        return self.rebuilt(new_schema, counts)
 
     # ------------------------------------------------------------------
     def sample_row_id_matrix(self, n: int, rng: np.random.Generator) -> np.ndarray:

@@ -9,11 +9,34 @@ batched inference fast path:
   calls into single ``estimate_batch`` invocations (max-batch /
   max-wait-µs policy) with per-caller futures and a plan-keyed LRU result
   cache;
-* :class:`EstimationService` — the façade tying both together.
+* :class:`EstimationService` — the façade tying both together;
+* :mod:`repro.serving.updates` — streaming ingest, drift monitoring, and
+  background refresh, so the served model stays fresh while the underlying
+  data changes under load (:class:`StreamingIngestor`,
+  :class:`DriftMonitor`, :class:`RefreshPolicy`,
+  :class:`BackgroundRefresher`).
 """
 
 from repro.serving.registry import ModelRegistry
 from repro.serving.scheduler import MicroBatchScheduler
 from repro.serving.service import EstimationService
+from repro.serving.updates import (
+    BackgroundRefresher,
+    DriftMonitor,
+    DriftReport,
+    RefreshEvent,
+    RefreshPolicy,
+    StreamingIngestor,
+)
 
-__all__ = ["EstimationService", "MicroBatchScheduler", "ModelRegistry"]
+__all__ = [
+    "EstimationService",
+    "MicroBatchScheduler",
+    "ModelRegistry",
+    "StreamingIngestor",
+    "DriftMonitor",
+    "DriftReport",
+    "RefreshPolicy",
+    "RefreshEvent",
+    "BackgroundRefresher",
+]

@@ -21,13 +21,13 @@ live:
 
 from __future__ import annotations
 
-import copy
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.core.estimator import NeuroCard
+from repro.core.refresh import clone_estimator
 from repro.errors import ServingError
 from repro.relational.schema import JoinSchema
 
@@ -195,26 +195,37 @@ class ModelRegistry:
         name: str,
         new_schema: JoinSchema,
         train_tuples: Optional[int] = None,
+        *,
+        fraction: Optional[float] = None,
+        data_version: Optional[int] = None,
+        throttle: Optional[float] = None,
     ) -> int:
         """Incremental-update ``name`` onto a new snapshot without blocking readers.
 
-        The live estimator keeps serving while a deep copy ingests the
-        snapshot and takes the extra gradient steps
-        (:meth:`repro.core.estimator.NeuroCard.update`); the trained copy is
-        then swapped in. Returns the new version.
+        The live estimator keeps serving while a clone
+        (:func:`repro.core.refresh.clone_estimator` — the live inference
+        engine is excluded from the copy and rebuilt, so its concurrently
+        mutated caches are never touched and the clone never reuses kernels
+        folded from pre-update weights) ingests the snapshot and takes the
+        extra gradient steps; the trained copy is then swapped in. The
+        incremental budget is ``train_tuples``, or ``fraction`` of the
+        config's original budget (the streaming refresher passes the
+        policy's fast fraction); with neither, only counts/sampler rebuild.
+        ``data_version`` stamps the clone's snapshot generation, and
+        ``throttle`` paces the background gradient steps so concurrent
+        serving threads keep the GIL (pure pacing — weights are bitwise
+        unaffected under a single-threaded sampler). Returns the new
+        registry version.
         """
         current = self.get(name)  # materializes lazy entries before copying
-        # Exclude the live ProgressiveSampler from the copy: serving threads
-        # mutate its plan/region caches concurrently, and deepcopy iterating
-        # those dicts mid-insert would crash. Everything it wraps (model,
-        # layout, |J|) is copied; a fresh engine is rebuilt on the copy.
-        memo = {id(current.inference): None}
-        candidate = copy.deepcopy(current, memo)
-        # Rebuild through the estimator's own engine factory so the copy
-        # gets fresh compiled kernels (never the live model's, and never
-        # ones folded from pre-update weights — update() rebuilds again).
-        candidate.inference = candidate.build_inference()
-        candidate.update(new_schema, train_tuples=train_tuples)
+        candidate = clone_estimator(current)
+        candidate.update(
+            new_schema,
+            train_tuples=train_tuples,
+            fraction=fraction,
+            data_version=data_version,
+            throttle=throttle,
+        )
         return self.swap(name, candidate)
 
     # ------------------------------------------------------------------

@@ -90,6 +90,7 @@ class MicroBatchScheduler:
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
         self._closed = False
+        self._flusher_failure: Optional[BaseException] = None
         self._rng = np.random.default_rng(0)
         # Telemetry (reads are approximate; guarded writes only).
         self.n_requests = 0
@@ -124,6 +125,8 @@ class MicroBatchScheduler:
         with self._work:
             if self._closed:
                 raise ServingError(f"scheduler {self.name!r} is closed")
+            if self._flusher_failure is not None:
+                raise self._flusher_death_error()
             self.n_requests += 1
             if key is not None and key in self._cache:
                 self._cache.move_to_end(key)
@@ -181,11 +184,37 @@ class MicroBatchScheduler:
     # Flusher
     # ------------------------------------------------------------------
     def _run(self) -> None:
-        while True:
-            batch = self._next_batch()
-            if batch is None:
-                return
-            self._flush(batch)
+        # Per-batch failures are contained inside _flush (the futures of
+        # that batch get the underlying exception); this guard catches the
+        # flusher thread itself dying, which would otherwise strand every
+        # queued future in a silent forever-pending state. Mirrors
+        # ThreadedSampler's SamplerError chaining: callers see a
+        # ServingError whose __cause__ is the first underlying exception.
+        batch: List[_Request] = []
+        try:
+            while True:
+                batch = self._next_batch()
+                if batch is None:
+                    return
+                self._flush(batch)
+                batch = []
+        except BaseException as exc:
+            with self._work:
+                self._flusher_failure = exc
+                stranded = batch + self._queue
+                self._queue = []
+            for request in stranded:
+                if not request.future.done():
+                    request.future.set_exception(self._flusher_death_error())
+
+    def _flusher_death_error(self) -> ServingError:
+        failure = self._flusher_failure
+        error = ServingError(
+            f"scheduler {self.name!r} flusher died: "
+            f"{type(failure).__name__}: {failure}"
+        )
+        error.__cause__ = failure
+        return error
 
     def _next_batch(self) -> Optional[List[_Request]]:
         """Block until a batch is due; None means closed-and-drained."""

@@ -29,6 +29,12 @@ from repro.relational.query import Query
 from repro.relational.schema import JoinSchema
 from repro.serving.registry import ModelRegistry
 from repro.serving.scheduler import MicroBatchScheduler
+from repro.serving.updates import (
+    BackgroundRefresher,
+    DriftMonitor,
+    RefreshPolicy,
+    StreamingIngestor,
+)
 
 
 class EstimationService:
@@ -51,6 +57,7 @@ class EstimationService:
             n_samples=n_samples,
         )
         self._schedulers: Dict[str, MicroBatchScheduler] = {}
+        self._refreshers: list[BackgroundRefresher] = []
         self._lock = threading.Lock()
         self._closed = False
 
@@ -80,6 +87,32 @@ class EstimationService:
         result cache so post-refresh submits recompute against the new model.
         """
         return self.registry.refresh(name, new_schema, train_tuples=train_tuples)
+
+    def serve_with_updates(
+        self,
+        name: str,
+        ingestor: StreamingIngestor,
+        *,
+        policy: Optional[RefreshPolicy] = None,
+        monitor: Optional[DriftMonitor] = None,
+        poll_interval: float = 0.05,
+    ) -> BackgroundRefresher:
+        """Keep ``name`` fresh against an ingest stream (started refresher).
+
+        Attaches a :class:`~repro.serving.updates.BackgroundRefresher` that
+        polls ``ingestor``, consults the drift monitor/policy, and hot-swaps
+        refreshed models in behind this service's schedulers — traffic is
+        never blocked, and the refresher is closed with the service.
+        """
+        refresher = BackgroundRefresher(
+            self, name, ingestor,
+            policy=policy, monitor=monitor, poll_interval=poll_interval,
+        )
+        with self._lock:
+            if self._closed:
+                raise ServingError("service is closed")
+            self._refreshers.append(refresher)
+        return refresher.start()
 
     # ------------------------------------------------------------------
     # Serving
@@ -128,7 +161,8 @@ class EstimationService:
         """Scheduler telemetry per model (under ``models``) + registry counters."""
         with self._lock:
             schedulers = dict(self._schedulers)
-        return {
+            refreshers = list(self._refreshers)
+        stats = {
             "models": {name: s.stats() for name, s in schedulers.items()},
             "registry": {
                 "n_models": len(self.registry.names()),
@@ -137,13 +171,23 @@ class EstimationService:
                 "evictions": self.registry.evictions,
             },
         }
+        if refreshers:
+            stats["updates"] = {r.name: r.stats() for r in refreshers}
+        return stats
 
     def close(self) -> None:
-        """Drain and stop every scheduler. Idempotent."""
+        """Stop refreshers, then drain and stop every scheduler. Idempotent."""
         with self._lock:
             self._closed = True
             schedulers = list(self._schedulers.values())
             self._schedulers.clear()
+            refreshers = list(self._refreshers)
+            self._refreshers.clear()
+        # Refreshers first: a refresh completing after its schedulers are
+        # gone would be wasted work (though harmless — swaps touch only the
+        # registry).
+        for refresher in refreshers:
+            refresher.close()
         for scheduler in schedulers:
             scheduler.close()
 

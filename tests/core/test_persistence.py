@@ -56,6 +56,26 @@ class TestRoundtrip:
         for a, b in zip(estimator.model.parameters(), loaded.model.parameters()):
             assert np.array_equal(a.value, b.value)
 
+    def test_snapshot_metadata_roundtrip(self, trained, tmp_path):
+        """data_version + row counts survive save/load and are readable
+        without loading any weights (the refresher's freshness probe)."""
+        from repro.core.persistence import read_snapshot_metadata
+
+        schema, estimator = trained
+        estimator.data_version = 3
+        try:
+            path = save_model(estimator, tmp_path / "versioned.npz")
+        finally:
+            estimator.data_version = 0  # shared fixture: restore
+        meta = read_snapshot_metadata(path)
+        assert meta["data_version"] == 3
+        assert meta["n_rows"] == {
+            name: table.n_rows for name, table in schema.tables.items()
+        }
+        assert meta["tuples_seen"] == estimator.train_result.tuples_seen
+        loaded = load_model(path, schema)
+        assert loaded.data_version == 3
+
     def test_unfitted_rejected(self, tmp_path):
         schema = correlated_schema(n_root=30)
         with pytest.raises(EstimationError):
@@ -161,7 +181,9 @@ class TestCompatibilityValidation:
 class TestCompiledCacheExemption:
     """Compiled kernels are derived state: never persisted, lazily refolded."""
 
-    def test_artifact_stays_v2_and_excludes_compiled_buffers(self, trained, tmp_path):
+    def test_artifact_is_weights_only_and_excludes_compiled_buffers(
+        self, trained, tmp_path
+    ):
         from repro.core.inference import compiled_size_bytes
 
         schema, estimator = trained
@@ -171,7 +193,7 @@ class TestCompiledCacheExemption:
         path = save_model(estimator, tmp_path / "compiled.npz")
         with np.load(path) as data:
             meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
-            assert meta["format_version"] == 2
+            assert meta["format_version"] == 3
             assert all(
                 key == "__meta__" or key.startswith("param::") for key in data.files
             )
