@@ -60,12 +60,22 @@ def main() -> None:
         help="fail when a baseline bench has no report at all (full runs)",
     )
     parser.add_argument(
-        "--only", action="append", metavar="BENCH",
-        help="restrict the gate to these bench names (repeatable); with "
-        "--require-all, a selected bench without a report is a hard "
-        "failure while unselected benches are ignored entirely",
+        "--only", action="append", metavar="BENCH[,BENCH...]",
+        help="restrict the gate to these bench names (repeatable and/or "
+        "comma-separated); with --require-all, a selected bench without "
+        "a report is a hard failure while unselected benches are ignored "
+        "entirely",
     )
     args = parser.parse_args()
+    if args.only:
+        # Accept both `--only a --only b` and `--only a,b` — CI matrices
+        # interpolate one comma-joined variable into a single flag.
+        args.only = [
+            name.strip()
+            for entry in args.only
+            for name in entry.split(",")
+            if name.strip()
+        ]
 
     with open(args.baseline) as f:
         baseline = json.load(f)

@@ -3,8 +3,13 @@
 Trains one NeuroCard, registers it with :class:`EstimationService`, and
 drives it with 8 closed-loop client threads: every client submits one
 query at a time, and the micro-batching scheduler coalesces the
-concurrent requests into shared ``estimate_batch`` passes. Finishes with
-a zero-downtime hot-swap refresh onto a new data snapshot.
+concurrent requests into shared ``estimate_batch`` passes. With
+``workers=2`` in the :class:`ServingConfig`, each coalesced micro-batch
+is sharded across two worker processes that attach the model's weights
+and compiled buffers from a shared-memory blob (zero-copy). Finishes
+with a zero-downtime hot-swap refresh onto a new data snapshot — the
+registry republishes the new version to every worker before the swap
+returns.
 
 Run:  PYTHONPATH=src python examples/serve_workload.py
 """
@@ -16,7 +21,7 @@ import numpy as np
 
 from repro.core import NeuroCard, NeuroCardConfig
 from repro.relational import JoinEdge, JoinSchema, Predicate, Query, Table
-from repro.serving import EstimationService
+from repro.serving import EstimationService, ServingConfig
 
 
 def build_schema(n_customers: int = 500, seed: int = 0) -> JoinSchema:
@@ -75,7 +80,13 @@ def main() -> None:
                    [Predicate("orders", "amount", "IN", (510, 520, 530))]),
     ]
 
-    with EstimationService(max_batch=64, max_wait_us=2000) as service:
+    # One validated config object for every serving knob (scheduler,
+    # worker pool, registry, refresh policy). ``workers=2`` turns on the
+    # sharded multi-process executor; drop it (the default is 0) to serve
+    # in-process. Legacy ctor kwargs such as ``max_batch=64`` still work
+    # for one release behind a DeprecationWarning.
+    serving = ServingConfig(max_batch=64, max_wait_us=2000, workers=2)
+    with EstimationService(config=serving) as service:
         service.register("shop", estimator)
         # Fold the kernels and pre-warm the workload's wildcard patterns
         # before traffic arrives (the registry also does this on lazy
@@ -110,11 +121,18 @@ def main() -> None:
 
         n_requests = n_clients * per_client
         stats = service.stats()["models"]["shop"]
+        pool_stats = service.stats().get("pools", {}).get("shop", {})
         print(f"{n_requests} requests from {n_clients} clients in {wall:.2f}s "
               f"-> {n_requests / wall:.0f} QPS "
               f"(p95 {np.percentile(latencies, 95) * 1e3:.1f} ms, "
               f"mean batch {stats['mean_batch_size']:.1f}, "
               f"{stats['cache_hits']:.0f} cache hits)")
+        if pool_stats:
+            print(f"worker pool: {pool_stats['workers']} processes, "
+                  f"{pool_stats['chunks']} shards over "
+                  f"{pool_stats['batches']} micro-batches, "
+                  f"{pool_stats['shared_bytes'] / 1024:.0f} KB shared model "
+                  f"memory (version {pool_stats['published_version']})")
 
         # Zero-downtime refresh: a copy ingests the full snapshot and takes
         # extra gradient steps, then replaces the live model atomically; the

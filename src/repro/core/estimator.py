@@ -108,6 +108,60 @@ class NeuroCard:
         Compilation itself is lazy — kernels fold on first estimate.
         """
         cfg = self.config
+        n_tuples = train_tuples if train_tuples is not None else cfg.train_tuples
+        self._prepare_structures(n_tuples, compile)
+        self._train(n_tuples)
+        self.inference = self.build_inference()
+        return self
+
+    def prepare(self, compile: Optional[object] = None) -> "NeuroCard":
+        """Build counts/sampler/layout/model/engine WITHOUT training.
+
+        The weights stay at their seeded initialization. Two consumers
+        replace them immediately afterwards: ``persistence.load_model``
+        copies the artifact's weights in, and the serving worker pool's
+        processes attach published shared-memory weight views via
+        :meth:`attach_parameters` — both only need the deterministic
+        skeleton (same schema + config => same architecture and layout),
+        never a gradient step. The estimator reports ``is_fitted`` after
+        this call; estimates are meaningless until real weights arrive.
+        """
+        self._prepare_structures(self.config.train_tuples, compile)
+        self.inference = self.build_inference()
+        return self
+
+    def attach_parameters(self, values: Sequence[np.ndarray]) -> None:
+        """Point the model's parameters at externally owned arrays (no copy).
+
+        ``values`` must match ``model.parameters()`` order/shape/dtype —
+        typically read-only views over a shared-memory blob published by
+        the serving worker pool, so N processes share one physical copy of
+        the weights. Compiled kernel state folded from the *old* values is
+        dropped (the pool attaches published kernel buffers right after).
+        Serving-only: training after attaching read-only views would fault
+        in the optimizer's in-place update.
+        """
+        if self.model is None:
+            raise EstimationError("call fit() or prepare() before attach_parameters()")
+        params = self.model.parameters()
+        if len(values) != len(params):
+            raise EstimationError(
+                f"parameter count mismatch: got {len(values)}, "
+                f"model has {len(params)}"
+            )
+        for param, value in zip(params, values):
+            if value.shape != param.value.shape or value.dtype != param.value.dtype:
+                raise EstimationError(
+                    f"parameter {param.name!r} mismatch: got "
+                    f"{value.shape}/{value.dtype}, expected "
+                    f"{param.value.shape}/{param.value.dtype}"
+                )
+        for param, value in zip(params, values):
+            param.value = value
+        self.invalidate_compiled()
+
+    def _prepare_structures(self, n_tuples: int, compile: Optional[object]) -> None:
+        cfg = self.config
         self._compile_mode = self._resolve_compile_mode(compile)
         start = time.perf_counter()
         self.counts = JoinCounts(self.schema)
@@ -124,15 +178,11 @@ class NeuroCard:
             n_blocks=cfg.n_blocks,
             seed=cfg.seed,
         )
-        n_tuples = train_tuples if train_tuples is not None else cfg.train_tuples
         self._optimizer = Adam(
             self.model.parameters(),
             lr=cfg.learning_rate,
             total_steps=max(n_tuples // cfg.batch_size, 1),
         )
-        self._train(n_tuples)
-        self.inference = self.build_inference()
-        return self
 
     def _resolve_compile_mode(self, compile: Optional[object]) -> str:
         if compile is None:

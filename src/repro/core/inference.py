@@ -557,6 +557,39 @@ def invalidate_compiled(engine: Optional[ProgressiveSampler]) -> None:
         compiled.invalidate()
 
 
+def export_engine_state(engine: ProgressiveSampler) -> dict:
+    """The engine's deterministic compiled buffers as ``name -> array``.
+
+    Empty for reference engines and for the fp64 oracle mode (neither
+    holds compiled buffers); otherwise folds first if needed. Used by the
+    serving worker pool to publish one shared-memory copy of the kernels.
+    """
+    compiled = compiled_model(engine)
+    if compiled is None or compiled.mode == "fp64":
+        return {}
+    return compiled.export_state()
+
+
+def attach_engine_state(engine: ProgressiveSampler, arrays: dict) -> None:
+    """Install buffers from :func:`export_engine_state` into the engine.
+
+    The engine's compiled kernel adopts the (typically shared-memory-
+    backed, read-only) buffers without refolding from the weights; no-op
+    when ``arrays`` is empty. Raises for engines that cannot hold compiled
+    state — attaching fp32 buffers to a reference engine would silently
+    serve nothing.
+    """
+    if not arrays:
+        return
+    compiled = compiled_model(engine)
+    if compiled is None:
+        raise EstimationError(
+            "cannot attach compiled buffers to a reference engine "
+            "(build it with mode='fp32')"
+        )
+    compiled.attach_state(arrays)
+
+
 def precompile_plan(engine: ProgressiveSampler, plan: QueryPlan) -> int:
     """Seed the compiled wildcard-constant cache for one resolved plan.
 

@@ -147,7 +147,7 @@ def load_model(path: str | Path, schema: JoinSchema) -> NeuroCard:
                 f"saved config is not compatible with this build: {exc}"
             ) from exc
         estimator = NeuroCard(schema, config)
-        estimator.fit(train_tuples=1)  # builds counts/layout/model cheaply
+        estimator.prepare()  # counts/layout/model skeleton, no gradient steps
         if estimator.layout.domains != meta["domains"]:
             raise PersistenceError(
                 "schema dictionaries do not match the saved estimator "
@@ -169,9 +169,9 @@ def load_model(path: str | Path, schema: JoinSchema) -> NeuroCard:
             meta.get("snapshot", {}).get("data_version", 0)
         )
     # Compiled inference buffers are derived state: they are never written
-    # to the artifact and anything folded from fit()'s throwaway
-    # initialization above is now stale. Drop it; kernels refold lazily
-    # from the loaded weights on the first estimate.
+    # to the artifact and anything folded from prepare()'s seeded
+    # initialization would be stale. Drop defensively; kernels refold
+    # lazily from the loaded weights on the first estimate.
     estimator.invalidate_compiled()
     return estimator
 

@@ -9,11 +9,13 @@ batched serving engine) can additionally be evaluated in batches by passing
 ``batch_size``; per-query latency is then the amortized batch latency. The
 sequential path remains the default and the correctness oracle.
 
-Serving front ends exposing ``submit(query) -> Future`` (the
-``repro.serving`` scheduler/service) can be evaluated under concurrent
-load with ``concurrency``: N closed-loop client threads submit queries and
-each query's latency is its own submit-to-result wall time, so the numbers
-reflect micro-batched serving rather than isolated calls.
+Any :class:`repro.serving.EstimationClient` — a bare estimator, the
+micro-batching scheduler/service, or a multiprocess worker pool — can be
+evaluated under concurrent load with ``concurrency``: N closed-loop client
+threads drive it and each query's latency is its own request-to-result
+wall time, so the numbers reflect the serving path actually deployed.
+Clients exposing ``submit(query) -> Future`` are driven through it;
+otherwise the threads call blocking ``estimate``.
 """
 
 from __future__ import annotations
@@ -80,14 +82,16 @@ def evaluate_estimator(
     With ``batch_size`` > 1 and an estimator exposing ``estimate_batch``,
     queries run through the batched engine in chunks and each query's
     latency is its chunk's wall time divided by the chunk size (amortized
-    serving latency). With ``concurrency`` > 1 and an estimator exposing
-    ``submit`` (a serving scheduler/service), that many closed-loop client
-    threads drive it and each query's latency is its submit-to-result wall
-    time. Otherwise queries run one at a time through ``estimate``.
+    serving latency). With ``concurrency`` > 1, that many closed-loop
+    client threads drive the estimator — any
+    :class:`repro.serving.EstimationClient` works, with ``submit``-capable
+    front ends driven through their Future path — and each query's latency
+    is its request-to-result wall time. Otherwise queries run one at a
+    time through ``estimate``.
     """
     result = EstimatorResult(name=name)
     result.size_bytes = getattr(estimator, "size_bytes", None)
-    if concurrency is not None and concurrency > 1 and hasattr(estimator, "submit"):
+    if concurrency is not None and concurrency > 1:
         return _evaluate_concurrent(result, estimator, queries, truths, concurrency)
     batched = (
         batch_size is not None and batch_size > 1
@@ -124,19 +128,27 @@ def _evaluate_concurrent(
     truths: Sequence[float],
     concurrency: int,
 ) -> EstimatorResult:
-    """Closed-loop clients against a ``submit``-capable serving front end."""
+    """Closed-loop clients against any :class:`EstimationClient`."""
     n = len(queries)
     estimates = [0.0] * n
     latencies = [0.0] * n
     failures: List[tuple] = []  # (query_index, underlying exception)
     failures_lock = threading.Lock()
+    # Future-based front ends pipeline through submit(); plain estimators
+    # (and anything else satisfying EstimationClient) block on estimate().
+    if hasattr(service, "submit"):
+        def one(query) -> float:
+            return float(service.submit(query).result())
+    else:
+        def one(query) -> float:
+            return float(service.estimate(query))
 
     def client(cid: int) -> None:
         i = cid
         try:
             for i in range(cid, n, concurrency):
                 start = time.perf_counter()
-                estimates[i] = float(service.submit(queries[i]).result())
+                estimates[i] = one(queries[i])
                 latencies[i] = (time.perf_counter() - start) * 1e3
         except BaseException as exc:  # re-raised on the caller's thread
             with failures_lock:

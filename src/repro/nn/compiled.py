@@ -80,6 +80,48 @@ def supports_compilation(model) -> bool:
     return all(hasattr(model, attr) for attr in _REQUIRED_ATTRS)
 
 
+# ----------------------------------------------------------------------
+# Flat-blob layout for publishing array maps through shared memory
+# ----------------------------------------------------------------------
+def pack_layout(arrays: Dict[str, np.ndarray]) -> Tuple[list, int]:
+    """``(manifest, total_bytes)`` laying ``arrays`` into one flat buffer.
+
+    The manifest is a picklable list of ``(name, offset, shape, dtype)``
+    entries; offsets are 64-byte aligned so attached views keep cache-line
+    (and BLAS) friendly alignment. ``total_bytes`` is always >= 1 so the
+    result can size a ``multiprocessing.shared_memory`` segment directly.
+    """
+    manifest = []
+    offset = 0
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        manifest.append((name, offset, tuple(array.shape), str(array.dtype)))
+        offset += array.nbytes
+        offset = (offset + 63) & ~63
+    return manifest, max(offset, 1)
+
+
+def write_blob(arrays: Dict[str, np.ndarray], manifest: list, buf) -> None:
+    """Copy each manifest entry's array into ``buf`` (one writable buffer)."""
+    for name, offset, shape, dtype in manifest:
+        view = np.ndarray(shape, dtype=dtype, buffer=buf, offset=offset)
+        view[...] = np.ascontiguousarray(arrays[name])
+
+
+def read_blob(manifest: list, buf) -> Dict[str, np.ndarray]:
+    """Zero-copy read-only views over a buffer written by :func:`write_blob`.
+
+    The returned arrays alias ``buf`` — the caller must keep the owning
+    segment open for as long as any view is reachable.
+    """
+    out: Dict[str, np.ndarray] = {}
+    for name, offset, shape, dtype in manifest:
+        view = np.ndarray(shape, dtype=dtype, buffer=buf, offset=offset)
+        view.flags.writeable = False
+        out[name] = view
+    return out
+
+
 class CompiledResMADE:
     """Inference-only compiled view over a trained ResMADE.
 
@@ -107,6 +149,7 @@ class CompiledResMADE:
 
     def _reset_state(self) -> None:
         self._compiled = False
+        self._attached = False
         self._luts: List[np.ndarray] = []
         self._mask_stack: Optional[np.ndarray] = None
         self._b_in: Optional[np.ndarray] = None
@@ -212,6 +255,96 @@ class CompiledResMADE:
         self._local = threading.local()
 
     # ------------------------------------------------------------------
+    # Deterministic-buffer export / attach (zero-copy worker serving)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, np.ndarray]:
+        """Every deterministic compiled buffer, as a flat ``name -> array`` map.
+
+        Compiles first if needed. The map covers the folded LUTs, the
+        degree-permuted GEMM weights, the wildcard MASK machinery, and the
+        warmed integer-keyed wildcard-pattern constants — exactly the
+        state :meth:`attach_state` needs to reconstruct this kernel without
+        refolding, so a serving worker pool can publish one copy in shared
+        memory and attach it in every process. Dynamic per-width caches
+        (block corners, output heads, scratch) are derived from these
+        buffers and rebuilt lazily per process. fp64 mode holds no
+        compiled buffers and cannot be exported.
+        """
+        if self.mode == "fp64":
+            raise EstimationError("fp64 oracle mode has no compiled state to export")
+        self.compile()
+        with self._lock:
+            arrays: Dict[str, np.ndarray] = {
+                "perm": self._perm.astype(np.int64),
+                "cuts": self._cuts,
+                "mask_stack": self._mask_stack,
+                "b_in": self._b_in,
+                "mask_base": self._mask_base,
+                "w_out": self._w_out,
+                "b_out": self._b_out,
+            }
+            for i, lut in enumerate(self._luts):
+                arrays[f"lut::{i}"] = lut
+            for j, (w1t, b1, w2t, b2) in enumerate(self._block_weights):
+                arrays[f"block::{j}::w1t"] = w1t
+                arrays[f"block::{j}::b1"] = b1
+                arrays[f"block::{j}::w2t"] = w2t
+                arrays[f"block::{j}::b2"] = b2
+            # Integer pattern keys fit one uint64 each (<= 64 model columns);
+            # wider bytes-keyed patterns refold lazily on the attaching side.
+            int_keys = [
+                k for k in self._pattern_cache if isinstance(k, (int, np.integer))
+            ]
+            arrays["pattern_keys"] = np.array(sorted(int_keys), dtype=np.uint64)
+            arrays["pattern_consts"] = (
+                np.stack([self._pattern_cache[int(k)] for k in sorted(int_keys)])
+                if int_keys
+                else np.zeros((0, self.model.d_ff), dtype=np.float32)
+            )
+        return arrays
+
+    def attach_state(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Adopt buffers produced by :meth:`export_state` without refolding.
+
+        ``arrays`` values are typically read-only views over one shared
+        memory segment: the kernels never write into the deterministic
+        buffers (all hot-path writes land in thread-local scratch), so N
+        worker processes can attach the same physical pages. Marks the
+        kernel compiled; dynamic caches start empty and grow per process.
+        """
+        if self.mode == "fp64":
+            raise EstimationError("fp64 oracle mode cannot attach compiled state")
+        n_cols = self.model.n_columns
+        n_blocks = len(self.model.blocks)
+        with self._lock:
+            self._reset_state()
+            self._perm = arrays["perm"]
+            self._cuts = arrays["cuts"]
+            self._mask_stack = arrays["mask_stack"]
+            self._b_in = arrays["b_in"]
+            self._mask_base = arrays["mask_base"]
+            self._w_out = arrays["w_out"]
+            self._b_out = arrays["b_out"]
+            self._luts = [arrays[f"lut::{i}"] for i in range(n_cols)]
+            self._block_weights = [
+                (
+                    arrays[f"block::{j}::w1t"],
+                    arrays[f"block::{j}::b1"],
+                    arrays[f"block::{j}::w2t"],
+                    arrays[f"block::{j}::b2"],
+                )
+                for j in range(n_blocks)
+            ]
+            keys = arrays["pattern_keys"]
+            consts = arrays["pattern_consts"]
+            self._pattern_cache = {
+                int(key): consts[i] for i, key in enumerate(keys)
+            }
+            self._compiled = True
+            self._attached = True
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
     @property
@@ -245,6 +378,7 @@ class CompiledResMADE:
             dynamic += head.nbytes
         return {
             "compiled": int(self._compiled),
+            "attached": int(self._attached),
             "size_bytes": self.size_bytes,
             "pattern_entries": len(self._pattern_cache),
             "specialized_cuts": len(self._block_cut_cache),

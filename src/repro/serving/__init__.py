@@ -1,4 +1,4 @@
-"""Concurrent estimation service: model registry + micro-batching scheduler.
+"""Concurrent estimation service: registry + scheduler + worker pools.
 
 The serving layer turns many concurrent single-query callers into the
 batched inference fast path:
@@ -9,14 +9,27 @@ batched inference fast path:
   calls into single ``estimate_batch`` invocations (max-batch /
   max-wait-µs policy) with per-caller futures and a plan-keyed LRU result
   cache;
-* :class:`EstimationService` — the façade tying both together;
+* :class:`WorkerPool` — shards those micro-batches across N worker
+  processes that attach the model's weights and compiled buffers from
+  immutable versioned shared-memory blobs (zero-copy, hot-swap aware);
+* :class:`ServingConfig` — every serving knob in one validated,
+  dict-round-trippable dataclass;
+* :class:`EstimationService` — the façade tying all of it together;
 * :mod:`repro.serving.updates` — streaming ingest, drift monitoring, and
   background refresh, so the served model stays fresh while the underlying
   data changes under load (:class:`StreamingIngestor`,
   :class:`DriftMonitor`, :class:`RefreshPolicy`,
   :class:`BackgroundRefresher`).
+
+Everything that answers queries — a bare estimator, a scheduler, a
+service, a worker pool — satisfies the :class:`EstimationClient`
+protocol, so harnesses and applications can be written once against the
+protocol and handed any serving depth.
 """
 
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.serving.config import ServingConfig
 from repro.serving.registry import ModelRegistry
 from repro.serving.scheduler import MicroBatchScheduler
 from repro.serving.service import EstimationService
@@ -28,11 +41,38 @@ from repro.serving.updates import (
     RefreshPolicy,
     StreamingIngestor,
 )
+from repro.serving.workers import WorkerPool
+
+
+@runtime_checkable
+class EstimationClient(Protocol):
+    """Anything that answers cardinality queries, at any serving depth.
+
+    :class:`~repro.core.estimator.NeuroCard`, :class:`MicroBatchScheduler`,
+    :class:`EstimationService` and :class:`WorkerPool` all conform, so
+    :func:`repro.eval.harness.evaluate_estimator` (including its
+    ``concurrency=N`` closed-loop mode) and application code accept any of
+    them interchangeably. Clients with a ``submit(query) -> Future`` method
+    additionally support pipelined (non-blocking) submission; callers that
+    need it should feature-test with ``hasattr``.
+    """
+
+    def estimate(self, query, **kwargs) -> float:
+        """Blocking single-query COUNT(*) estimate."""
+        ...  # pragma: no cover - protocol stub
+
+    def estimate_batch(self, queries: Sequence, **kwargs):
+        """Estimates for ``queries``, in order (array-like of float)."""
+        ...  # pragma: no cover - protocol stub
+
 
 __all__ = [
+    "EstimationClient",
     "EstimationService",
     "MicroBatchScheduler",
     "ModelRegistry",
+    "ServingConfig",
+    "WorkerPool",
     "StreamingIngestor",
     "DriftMonitor",
     "DriftReport",

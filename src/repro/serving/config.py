@@ -1,0 +1,184 @@
+"""ServingConfig: every serving knob in one validated, serializable place.
+
+Through PR 5 the serving knobs accreted as loose keyword arguments —
+scheduler options on :class:`~repro.serving.service.EstimationService`,
+refresh thresholds on :class:`~repro.serving.updates.RefreshPolicy`,
+byte budgets on :class:`~repro.serving.registry.ModelRegistry` — so a
+deployment's serving posture was scattered across three constructors and
+could not be written down. :class:`ServingConfig` consolidates them, adds
+the PR 6 worker-pool knobs, validates eagerly (a typo'd field fails at
+construction with a :class:`~repro.errors.ServingError`, not at the first
+flush), and round-trips through plain dicts (:meth:`from_dict` /
+:meth:`to_dict`) so a config can live in a JSON/YAML deployment file.
+
+Legacy keyword arguments on ``EstimationService`` keep working for one
+release with a :class:`DeprecationWarning`; the field mapping is:
+
+======================  ==========================================
+legacy kwarg            ServingConfig field
+======================  ==========================================
+``max_batch``           ``max_batch``
+``max_wait_us``         ``max_wait_us``
+``cache_size``          ``cache_size``
+``n_samples``           ``n_samples``
+``poll_interval``       ``poll_interval`` (serve_with_updates)
+(registry ctor)         ``budget_bytes``
+(RefreshPolicy ctor)    ``drift_threshold`` … ``min_interval_seconds``
+(new in PR 6)           ``workers``, ``worker_start``, ``min_shard``,
+                        ``max_inflight``
+======================  ==========================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.refresh import FAST_REFRESH_FRACTION
+from repro.errors import ServingError
+from repro.serving.updates import RefreshPolicy
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Validated bundle of scheduler, pool, registry and refresh knobs.
+
+    Frozen so a config shared between a service, its pools and its
+    refreshers can never drift; derive variants with
+    :func:`dataclasses.replace`.
+    """
+
+    # -- micro-batching scheduler ------------------------------------
+    #: Largest micro-batch one flush may coalesce.
+    max_batch: int = 64
+    #: Longest a request waits (microseconds) for batch-mates.
+    max_wait_us: int = 2000
+    #: Plan-keyed LRU result-cache entries per model (0 disables).
+    cache_size: int = 1024
+    #: Default progressive-sample count (None = each model's config).
+    n_samples: Optional[int] = None
+
+    # -- registry -----------------------------------------------------
+    #: Byte budget for resident models (None = unbounded).
+    budget_bytes: Optional[int] = None
+
+    # -- worker pool (PR 6) -------------------------------------------
+    #: Worker processes per served model; 0 = inline single-process
+    #: serving (the bitwise-reference path, and the default).
+    workers: int = 0
+    #: multiprocessing start method (None = "spawn"; "fork" is unsafe
+    #: with threaded BLAS and exists for constrained test environments).
+    worker_start: Optional[str] = None
+    #: Smallest per-worker shard; batches below ``workers * min_shard``
+    #: queries use fewer workers rather than shipping tiny shards.
+    min_shard: int = 4
+    #: In-flight micro-batches per worker before the scheduler's flusher
+    #: blocks (backpressure that re-enables request coalescing).
+    max_inflight: int = 2
+
+    # -- streaming refresh (RefreshPolicy twin) -----------------------
+    drift_threshold: float = 0.05
+    ingest_threshold: float = 0.10
+    qerror_threshold: Optional[float] = None
+    retrain_drift_threshold: float = 0.5
+    fast_fraction: float = FAST_REFRESH_FRACTION
+    train_duty: Optional[float] = 0.3
+    min_interval_seconds: float = 0.0
+    #: Background refresher poll cadence (seconds).
+    poll_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ServingError` naming the first invalid field."""
+        if self.max_batch < 1:
+            raise ServingError("max_batch must be >= 1")
+        if self.max_wait_us < 0:
+            raise ServingError("max_wait_us must be >= 0")
+        if self.cache_size < 0:
+            raise ServingError("cache_size must be >= 0 (0 disables caching)")
+        if self.n_samples is not None and self.n_samples < 1:
+            raise ServingError("n_samples must be >= 1 (or None for per-model default)")
+        if self.budget_bytes is not None and self.budget_bytes <= 0:
+            raise ServingError("budget_bytes must be positive (or None for unbounded)")
+        if self.workers < 0:
+            raise ServingError("workers must be >= 0 (0 serves inline)")
+        if self.worker_start is not None and self.worker_start not in (
+            "spawn", "fork", "forkserver"
+        ):
+            raise ServingError(
+                f"worker_start must be spawn/fork/forkserver, got {self.worker_start!r}"
+            )
+        if self.min_shard < 1:
+            raise ServingError("min_shard must be >= 1")
+        if self.max_inflight < 1:
+            raise ServingError("max_inflight must be >= 1")
+        for field in ("drift_threshold", "ingest_threshold", "retrain_drift_threshold"):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0:
+                raise ServingError(f"{field} must be within [0, 1], got {value!r}")
+        if self.qerror_threshold is not None and self.qerror_threshold < 1.0:
+            raise ServingError("qerror_threshold must be >= 1 (or None to disable)")
+        if not 0.0 < self.fast_fraction <= 1.0:
+            raise ServingError("fast_fraction must be within (0, 1]")
+        if self.train_duty is not None and not 0.0 < self.train_duty <= 1.0:
+            raise ServingError("train_duty must be within (0, 1] (or None = unthrottled)")
+        if self.min_interval_seconds < 0:
+            raise ServingError("min_interval_seconds must be >= 0")
+        if self.poll_interval <= 0:
+            raise ServingError("poll_interval must be positive")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, values: dict) -> "ServingConfig":
+        """Build from a plain mapping; unknown keys are hard errors.
+
+        Serving configs come from deployment files — a misspelled knob
+        silently falling back to its default is exactly the failure mode
+        this class exists to kill.
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(values) - known)
+        if unknown:
+            raise ServingError(
+                f"unknown ServingConfig field(s) {unknown}; known: {sorted(known)}"
+            )
+        return cls(**values)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; ``from_dict(to_dict())`` round-trips exactly."""
+        return dataclasses.asdict(self)
+
+    # ------------------------------------------------------------------
+    def scheduler_opts(self) -> dict:
+        """Keyword arguments for :class:`MicroBatchScheduler`."""
+        return dict(
+            max_batch=self.max_batch,
+            max_wait_us=self.max_wait_us,
+            cache_size=self.cache_size,
+            n_samples=self.n_samples,
+        )
+
+    def pool_opts(self) -> dict:
+        """Keyword arguments for :class:`~repro.serving.workers.WorkerPool`."""
+        return dict(
+            n_workers=max(self.workers, 1),
+            start_method=self.worker_start,
+            min_shard=self.min_shard,
+            max_inflight=self.max_inflight,
+        )
+
+    def refresh_policy(self) -> RefreshPolicy:
+        """The :class:`RefreshPolicy` twin of this config's refresh fields."""
+        return RefreshPolicy(
+            drift_threshold=self.drift_threshold,
+            ingest_threshold=self.ingest_threshold,
+            qerror_threshold=self.qerror_threshold,
+            retrain_drift_threshold=self.retrain_drift_threshold,
+            fast_fraction=self.fast_fraction,
+            train_duty=self.train_duty,
+            min_interval_seconds=self.min_interval_seconds,
+        )

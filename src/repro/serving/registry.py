@@ -24,7 +24,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.estimator import NeuroCard
 from repro.core.refresh import clone_estimator
@@ -71,8 +71,34 @@ class ModelRegistry:
         self._entries: Dict[str, _Entry] = {}
         self._lru: Dict[str, None] = {}  # insertion-ordered recency list
         self._lock = threading.RLock()
+        self._subscribers: List[Callable[[str, NeuroCard, int], None]] = []
         self.loads = 0
         self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Swap notifications
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[str, NeuroCard, int], None]) -> None:
+        """Call ``callback(name, estimator, version)`` after every swap.
+
+        Fired outside the registry lock, after the new version is visible
+        to ``get_with_version``. The serving layer uses this to publish
+        swapped models to worker pools *eagerly*, so a hot-swap under
+        multiprocess load never serves a post-swap request from a stale
+        worker version. Callback exceptions are swallowed per-callback —
+        a broken observer must not break the swap.
+        """
+        with self._lock:
+            self._subscribers.append(callback)
+
+    def _notify_swap(self, name: str, estimator: NeuroCard, version: int) -> None:
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
+            try:
+                callback(name, estimator, version)
+            except Exception:
+                pass
 
     # ------------------------------------------------------------------
     # Registration
@@ -188,7 +214,9 @@ class ModelRegistry:
             entry.version += 1
             self._touch(name)
             self._evict_over_budget(keep=name)
-            return entry.version
+            version = entry.version
+        self._notify_swap(name, estimator, version)
+        return version
 
     def refresh(
         self,

@@ -61,6 +61,16 @@ class MicroBatchScheduler:
     exposes ``estimate_batch(queries, n_samples=..., rngs=...)``. Reading
     the source *per flush* is what makes registry hot-swaps take effect
     mid-stream without a restart.
+
+    ``executor`` (optional) offloads flushed micro-batches instead of
+    executing them inline on the flusher thread: anything with
+    ``submit_batch(model, version, queries, rngs=..., n_samples=...) ->
+    Future`` works, in practice a
+    :class:`~repro.serving.workers.WorkerPool` that shards the batch
+    across processes. Request coalescing, per-request seeds, the
+    version-keyed result cache, and fail-fast error chaining behave
+    identically on both paths; the inline path remains the bitwise
+    reference.
     """
 
     def __init__(
@@ -72,6 +82,7 @@ class MicroBatchScheduler:
         cache_size: int = 1024,
         n_samples: Optional[int] = None,
         name: str = "model",
+        executor=None,
     ):
         if max_batch < 1:
             raise ServingError("max_batch must be >= 1")
@@ -80,6 +91,7 @@ class MicroBatchScheduler:
         if cache_size < 0:
             raise ServingError("cache_size must be >= 0 (0 disables caching)")
         self._source = source
+        self._executor = executor
         self.max_batch = max_batch
         self.max_wait_s = max_wait_us / 1e6
         self.cache_size = cache_size
@@ -258,18 +270,59 @@ class MicroBatchScheduler:
             else self._rng.spawn(1)[0]
             for r in requests
         ]
+        if self._executor is not None:
+            # Sharded path: hand the whole micro-batch to the worker pool.
+            # submit_batch applies backpressure by blocking this flusher
+            # when every worker is saturated — new submits keep coalescing
+            # behind it, exactly like inline execution time used to buy.
+            try:
+                pooled = self._executor.submit_batch(
+                    model,
+                    version,
+                    [r.query for r in requests],
+                    rngs=rngs,
+                    n_samples=n_samples,
+                )
+            except BaseException as exc:
+                self._fail(requests, exc)
+                return
+            pooled.add_done_callback(
+                lambda f, requests=requests, version=version: (
+                    self._complete_pooled(requests, version, f)
+                )
+            )
+            return
         kwargs = {"rngs": rngs}
         if n_samples is not None:
             kwargs["n_samples"] = n_samples
         try:
             estimates = model.estimate_batch([r.query for r in requests], **kwargs)
-            if len(estimates) != len(requests):
-                raise ServingError(
-                    f"model returned {len(estimates)} estimates for "
-                    f"{len(requests)} queries"
-                )
         except BaseException as exc:
             self._fail(requests, exc)
+            return
+        self._resolve_batch(requests, version, estimates)
+
+    def _complete_pooled(
+        self, requests: List[_Request], version: int, pooled: Future
+    ) -> None:
+        """Resolve a pool-executed batch (runs on the pool's collector)."""
+        exc = pooled.exception()
+        if exc is not None:
+            self._fail(requests, exc)
+            return
+        self._resolve_batch(requests, version, pooled.result())
+
+    def _resolve_batch(
+        self, requests: List[_Request], version: int, estimates
+    ) -> None:
+        if len(estimates) != len(requests):
+            self._fail(
+                requests,
+                ServingError(
+                    f"model returned {len(estimates)} estimates for "
+                    f"{len(requests)} queries"
+                ),
+            )
             return
         with self._lock:
             self.n_batches += 1

@@ -17,7 +17,9 @@ A single-model service also quacks like an estimator (``estimate`` /
 
 from __future__ import annotations
 
+import dataclasses
 import threading
+import warnings
 from concurrent.futures import Future
 from typing import Dict, Optional, Sequence
 
@@ -27,6 +29,7 @@ from repro.core.estimator import NeuroCard
 from repro.errors import ServingError
 from repro.relational.query import Query
 from repro.relational.schema import JoinSchema
+from repro.serving.config import ServingConfig
 from repro.serving.registry import ModelRegistry
 from repro.serving.scheduler import MicroBatchScheduler
 from repro.serving.updates import (
@@ -35,31 +38,68 @@ from repro.serving.updates import (
     RefreshPolicy,
     StreamingIngestor,
 )
+from repro.serving.workers import WorkerPool
+
+#: Legacy constructor kwargs and the ServingConfig fields they map to.
+_LEGACY_KWARGS = ("max_batch", "max_wait_us", "cache_size", "n_samples")
 
 
 class EstimationService:
-    """Registry + schedulers behind one façade; safe to share across threads."""
+    """Registry + schedulers (+ worker pools) behind one façade.
+
+    All knobs live in one :class:`~repro.serving.config.ServingConfig`;
+    with ``config.workers > 0`` each served model gets a
+    :class:`~repro.serving.workers.WorkerPool` and its scheduler shards
+    micro-batches across processes instead of executing them inline.
+    Safe to share across threads.
+    """
 
     def __init__(
         self,
         registry: Optional[ModelRegistry] = None,
         *,
-        max_batch: int = 64,
-        max_wait_us: int = 2000,
-        cache_size: int = 1024,
+        config: Optional[ServingConfig] = None,
+        max_batch: Optional[int] = None,
+        max_wait_us: Optional[int] = None,
+        cache_size: Optional[int] = None,
         n_samples: Optional[int] = None,
     ):
-        self.registry = registry if registry is not None else ModelRegistry()
-        self._scheduler_opts = dict(
-            max_batch=max_batch,
-            max_wait_us=max_wait_us,
-            cache_size=cache_size,
-            n_samples=n_samples,
+        config = config if config is not None else ServingConfig()
+        legacy = {
+            name: value
+            for name, value in (
+                ("max_batch", max_batch),
+                ("max_wait_us", max_wait_us),
+                ("cache_size", cache_size),
+                ("n_samples", n_samples),
+            )
+            if value is not None
+        }
+        if legacy:
+            warnings.warn(
+                f"EstimationService({', '.join(sorted(legacy))}=...) keyword "
+                "arguments are deprecated; pass "
+                f"config=ServingConfig({', '.join(sorted(legacy))}=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = dataclasses.replace(config, **legacy)
+        self.config = config
+        self.registry = (
+            registry
+            if registry is not None
+            else ModelRegistry(budget_bytes=config.budget_bytes)
         )
         self._schedulers: Dict[str, MicroBatchScheduler] = {}
+        self._pools: Dict[str, WorkerPool] = {}
         self._refreshers: list[BackgroundRefresher] = []
         self._lock = threading.Lock()
         self._closed = False
+        # Eager publish on hot-swap: the new version reaches every worker
+        # pipe (in-band, ahead of any post-swap batch) before swap()
+        # returns, so multiprocess serving never answers a post-swap
+        # request from a stale worker version.
+        self.registry.subscribe(self._on_swap)
 
     # ------------------------------------------------------------------
     # Model management (delegates to the registry)
@@ -95,7 +135,7 @@ class EstimationService:
         *,
         policy: Optional[RefreshPolicy] = None,
         monitor: Optional[DriftMonitor] = None,
-        poll_interval: float = 0.05,
+        poll_interval: Optional[float] = None,
     ) -> BackgroundRefresher:
         """Keep ``name`` fresh against an ingest stream (started refresher).
 
@@ -106,7 +146,12 @@ class EstimationService:
         """
         refresher = BackgroundRefresher(
             self, name, ingestor,
-            policy=policy, monitor=monitor, poll_interval=poll_interval,
+            policy=policy if policy is not None else self.config.refresh_policy(),
+            monitor=monitor,
+            poll_interval=(
+                poll_interval if poll_interval is not None
+                else self.config.poll_interval
+            ),
         )
         with self._lock:
             if self._closed:
@@ -127,13 +172,36 @@ class EstimationService:
                 raise ServingError("service is closed")
             scheduler = self._schedulers.get(name)
             if scheduler is None:
+                pool = None
+                if self.config.workers > 0:
+                    pool = self._pools.get(name)
+                    if pool is None:
+                        pool = WorkerPool(
+                            lambda: self.registry.get_with_version(name),
+                            name=name,
+                            **self.config.pool_opts(),
+                        )
+                        self._pools[name] = pool
                 scheduler = MicroBatchScheduler(
                     lambda: self.registry.get_with_version(name),
                     name=name,
-                    **self._scheduler_opts,
+                    executor=pool,
+                    **self.config.scheduler_opts(),
                 )
                 self._schedulers[name] = scheduler
         return scheduler
+
+    def pool(self, model: Optional[str] = None) -> Optional[WorkerPool]:
+        """The worker pool behind ``model`` (None when serving inline)."""
+        name = self._resolve(model)
+        with self._lock:
+            return self._pools.get(name)
+
+    def _on_swap(self, name: str, estimator: NeuroCard, version: int) -> None:
+        with self._lock:
+            pool = self._pools.get(name)
+        if pool is not None:
+            pool.publish(estimator, version, wait=True)
 
     def submit(
         self,
@@ -161,6 +229,7 @@ class EstimationService:
         """Scheduler telemetry per model (under ``models``) + registry counters."""
         with self._lock:
             schedulers = dict(self._schedulers)
+            pools = dict(self._pools)
             refreshers = list(self._refreshers)
         stats = {
             "models": {name: s.stats() for name, s in schedulers.items()},
@@ -171,25 +240,32 @@ class EstimationService:
                 "evictions": self.registry.evictions,
             },
         }
+        if pools:
+            stats["pools"] = {name: p.stats() for name, p in pools.items()}
         if refreshers:
             stats["updates"] = {r.name: r.stats() for r in refreshers}
         return stats
 
     def close(self) -> None:
-        """Stop refreshers, then drain and stop every scheduler. Idempotent."""
+        """Stop refreshers, then schedulers, then worker pools. Idempotent."""
         with self._lock:
             self._closed = True
             schedulers = list(self._schedulers.values())
             self._schedulers.clear()
+            pools = list(self._pools.values())
+            self._pools.clear()
             refreshers = list(self._refreshers)
             self._refreshers.clear()
         # Refreshers first: a refresh completing after its schedulers are
         # gone would be wasted work (though harmless — swaps touch only the
-        # registry).
+        # registry). Pools last: schedulers drain their queues into the
+        # pool, so the pool must outlive every flusher.
         for refresher in refreshers:
             refresher.close()
         for scheduler in schedulers:
             scheduler.close()
+        for pool in pools:
+            pool.close()
 
     def __enter__(self) -> "EstimationService":
         return self
