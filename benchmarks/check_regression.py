@@ -15,7 +15,10 @@ baseline benches with no report in the invocation are skipped (printed as
 SKIPPED), but a provided report whose bench name matches no baseline
 metric is a hard failure — renaming a report's ``bench`` field cannot
 skip its gate. Pass ``--require-all`` to also fail on absent benches —
-the full local refresh runs all benches and should use it.
+the full local refresh runs all benches and should use it. Two report
+files claiming the same ``bench`` name are a hard error (the later one
+would silently shadow the earlier), and under ``--require-all`` a gate
+that matched zero metrics fails rather than "passing" vacuously.
 
 Ratio metrics (speedups) are machine-relative and carry tight baselines;
 absolute tuples/sec baselines are set conservatively below a developer
@@ -37,13 +40,24 @@ from typing import Dict
 
 def load_reports(paths) -> Dict[str, dict]:
     reports: Dict[str, dict] = {}
+    sources: Dict[str, str] = {}
     for path in paths:
         with open(path) as f:
             report = json.load(f)
         name = report.get("bench")
         if not name:
             sys.exit(f"report {path} has no 'bench' name field")
+        if name in reports:
+            # Two files claiming one bench would let the later file's
+            # numbers silently shadow the earlier file's — a regressed
+            # report could hide behind a healthy one and the gate would
+            # check only the survivor.
+            sys.exit(
+                f"duplicate bench {name!r}: both {sources[name]} and {path} "
+                "claim it; each report file must carry a distinct bench name"
+            )
         reports[name] = report
+        sources[name] = path
     return reports
 
 
@@ -137,12 +151,22 @@ def main() -> None:
                 f"(known: {sorted(baseline_benches)})"
             )
 
+    checked = len(baseline["metrics"]) - skipped
+    # A gate that checked nothing passed nothing. Under --require-all an
+    # empty baseline-vs-report intersection (e.g. every selected bench's
+    # metrics vanished from the baseline file) must fail loudly, not
+    # report success over zero metrics.
+    if args.require_all and checked == 0 and not failures:
+        failures.append(
+            "the gate checked 0 metrics: no baseline metric matched any "
+            "provided report (--require-all forbids an empty intersection)"
+        )
+
     if failures:
         print("\nBenchmark regression gate FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         sys.exit(1)
-    checked = len(baseline["metrics"]) - skipped
     note = f", {skipped} skipped (bench not in this invocation)" if skipped else ""
     print(f"\nBenchmark regression gate passed ({checked} metrics{note}).")
 

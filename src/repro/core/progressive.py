@@ -252,6 +252,16 @@ class ProgressiveSampler:
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
 
+    # A sampler wraps an already-built model, so it is registrable at every
+    # serving depth (ModelRegistry checks ``is_fitted``/``size_bytes``).
+    @property
+    def is_fitted(self) -> bool:
+        return bool(getattr(self.model, "is_fitted", True))
+
+    @property
+    def size_bytes(self) -> int:
+        return int(getattr(self.model, "size_bytes", 0) or 0)
+
     # ------------------------------------------------------------------
     # Query planning
     # ------------------------------------------------------------------

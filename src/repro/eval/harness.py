@@ -16,6 +16,12 @@ threads drive it and each query's latency is its own request-to-result
 wall time, so the numbers reflect the serving path actually deployed.
 Clients exposing ``submit(query) -> Future`` are driven through it;
 otherwise the threads call blocking ``estimate``.
+
+That includes remote services: a
+:class:`repro.serving.http_client.HttpEstimationClient` pointed at a
+:mod:`repro.serving.http` server conforms to the same protocol, so the
+same harness call measures accuracy and latency *over the wire* — each
+concurrent thread gets its own keep-alive connection.
 """
 
 from __future__ import annotations

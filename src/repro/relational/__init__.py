@@ -3,10 +3,18 @@
 This subpackage implements the storage layer NeuroCard assumes: dictionary-
 encoded columnar base tables (`Column`, `Table`), hash indexes on join keys
 (`HashIndex`), tree-shaped join schemas with multi-key equi-join edges
-(`JoinSchema`, `JoinEdge`), and the query model (`Predicate`, `Query`).
+(`JoinSchema`, `JoinEdge`), the query model (`Predicate`, `Query`), and
+the JSON wire format the HTTP API compiles onto it
+(`query_from_dict`/`query_to_dict`).
 """
 
 from repro.relational.column import NULL_CODE, Column
+from repro.relational.dsl import (
+    predicate_from_dict,
+    predicate_to_dict,
+    query_from_dict,
+    query_to_dict,
+)
 from repro.relational.index import HashIndex
 from repro.relational.predicate import SUPPORTED_OPS, Predicate
 from repro.relational.query import Query
@@ -23,4 +31,8 @@ __all__ = [
     "Predicate",
     "Query",
     "SUPPORTED_OPS",
+    "predicate_from_dict",
+    "predicate_to_dict",
+    "query_from_dict",
+    "query_to_dict",
 ]

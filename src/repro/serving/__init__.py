@@ -19,7 +19,14 @@ batched inference fast path:
   background refresh, so the served model stays fresh while the underlying
   data changes under load (:class:`StreamingIngestor`,
   :class:`DriftMonitor`, :class:`RefreshPolicy`,
-  :class:`BackgroundRefresher`).
+  :class:`BackgroundRefresher`);
+* :mod:`repro.serving.http` — an asyncio HTTP/1.1 front end exposing the
+  service over the network (:class:`EstimationHttpServer`,
+  :class:`HttpServerThread`, :func:`~repro.serving.http.serve`) with
+  per-tenant admission control (:class:`~repro.serving.admission.AdmissionController`,
+  :class:`TenantQuota`, :class:`HttpConfig`) and Prometheus ``/metrics``;
+* :class:`HttpEstimationClient` — the wire client, protocol-compatible
+  with every in-process client above.
 
 Everything that answers queries — a bare estimator, a scheduler, a
 service, a worker pool — satisfies the :class:`EstimationClient`
@@ -29,7 +36,11 @@ protocol and handed any serving depth.
 
 from typing import Protocol, Sequence, runtime_checkable
 
-from repro.serving.config import ServingConfig
+from repro.serving.admission import AdmissionController, TenantQuota
+from repro.serving.config import HttpConfig, ServingConfig
+from repro.serving.http import EstimationHttpServer, HttpServerThread, serve
+from repro.serving.http_client import HttpEstimationClient
+from repro.serving.metrics import MetricsRegistry
 from repro.serving.registry import ModelRegistry
 from repro.serving.scheduler import MicroBatchScheduler
 from repro.serving.service import EstimationService
@@ -79,4 +90,12 @@ __all__ = [
     "RefreshPolicy",
     "RefreshEvent",
     "BackgroundRefresher",
+    "AdmissionController",
+    "TenantQuota",
+    "HttpConfig",
+    "EstimationHttpServer",
+    "HttpServerThread",
+    "HttpEstimationClient",
+    "MetricsRegistry",
+    "serve",
 ]

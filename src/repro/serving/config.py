@@ -33,11 +33,103 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.refresh import FAST_REFRESH_FRACTION
 from repro.errors import ServingError
+from repro.serving.admission import TenantQuota
 from repro.serving.updates import RefreshPolicy
+
+
+@dataclass(frozen=True)
+class HttpConfig:
+    """Network front-end knobs: bind address, admission, drain behavior.
+
+    Lives as the ``http`` section of :class:`ServingConfig` so one
+    deployment file describes the whole serving posture, wire to weights.
+    Same contract as its parent: frozen, eagerly validated, and
+    dict-round-trippable (``tenants`` serializes as a list of
+    ``{"name", "rate", "burst"}`` objects).
+    """
+
+    #: Bind address; port 0 asks the OS for an ephemeral port (tests/bench).
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Bounded accept queue: max estimate requests past admission at once.
+    max_queue: int = 64
+    #: Default tenant token rate (queries/second; None = unlimited).
+    rate: Optional[float] = None
+    #: Default tenant bucket capacity (None = one second of ``rate``).
+    burst: Optional[float] = None
+    #: Per-tenant quota overrides.
+    tenants: Tuple[TenantQuota, ...] = ()
+    #: Reject tenants without an explicit quota (403) instead of applying
+    #: the default quota.
+    strict_tenants: bool = False
+    #: Deadline applied to requests that do not carry one (None = none).
+    default_deadline_ms: Optional[float] = None
+    #: Largest accepted request body.
+    max_body_bytes: int = 1 << 20
+    #: Seconds :meth:`~repro.serving.http.EstimationHttpServer.drain`
+    #: waits for in-flight requests before giving up.
+    drain_grace_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ServingError` naming the first invalid field."""
+        if not self.host:
+            raise ServingError("host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ServingError(f"port must be within [0, 65535], got {self.port}")
+        if self.max_queue < 1:
+            raise ServingError("max_queue must be >= 1")
+        if self.rate is not None and self.rate <= 0:
+            raise ServingError("rate must be positive (or None for unlimited)")
+        if self.burst is not None and self.burst <= 0:
+            raise ServingError("burst must be positive (or None = 1s of rate)")
+        seen = set()
+        for quota in self.tenants:
+            if not isinstance(quota, TenantQuota):
+                raise ServingError(
+                    f"tenants entries must be TenantQuota, got {type(quota).__name__}"
+                )
+            if quota.name in seen:
+                raise ServingError(f"duplicate tenant quota for {quota.name!r}")
+            seen.add(quota.name)
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ServingError("default_deadline_ms must be positive (or None)")
+        if self.max_body_bytes < 1:
+            raise ServingError("max_body_bytes must be >= 1")
+        if self.drain_grace_s < 0:
+            raise ServingError("drain_grace_s must be >= 0")
+
+    @classmethod
+    def from_dict(cls, values: dict) -> "HttpConfig":
+        """Build from a plain mapping; unknown keys are hard errors."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(values) - known)
+        if unknown:
+            raise ServingError(
+                f"unknown HttpConfig field(s) {unknown}; known: {sorted(known)}"
+            )
+        values = dict(values)
+        tenants = values.get("tenants", ())
+        values["tenants"] = tuple(
+            q if isinstance(q, TenantQuota) else TenantQuota(**q) for q in tenants
+        )
+        return cls(**values)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; ``from_dict(to_dict())`` round-trips exactly."""
+        out = dataclasses.asdict(self)
+        out["tenants"] = [dataclasses.asdict(q) for q in self.tenants]
+        return out
+
+    def default_quota(self) -> TenantQuota:
+        return TenantQuota("default", self.rate, self.burst)
 
 
 @dataclass(frozen=True)
@@ -88,6 +180,10 @@ class ServingConfig:
     #: Background refresher poll cadence (seconds).
     poll_interval: float = 0.05
 
+    # -- HTTP front end (PR 7) ----------------------------------------
+    #: Network front-end section (None = in-process serving only).
+    http: Optional[HttpConfig] = None
+
     def __post_init__(self) -> None:
         self.validate()
 
@@ -130,6 +226,12 @@ class ServingConfig:
             raise ServingError("min_interval_seconds must be >= 0")
         if self.poll_interval <= 0:
             raise ServingError("poll_interval must be positive")
+        if self.http is not None:
+            if not isinstance(self.http, HttpConfig):
+                raise ServingError(
+                    f"http must be an HttpConfig (or None), got {type(self.http).__name__}"
+                )
+            self.http.validate()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -146,11 +248,18 @@ class ServingConfig:
             raise ServingError(
                 f"unknown ServingConfig field(s) {unknown}; known: {sorted(known)}"
             )
+        http = values.get("http")
+        if isinstance(http, dict):
+            values = dict(values)
+            values["http"] = HttpConfig.from_dict(http)
         return cls(**values)
 
     def to_dict(self) -> dict:
         """Plain-dict form; ``from_dict(to_dict())`` round-trips exactly."""
-        return dataclasses.asdict(self)
+        out = dataclasses.asdict(self)
+        if self.http is not None:
+            out["http"] = self.http.to_dict()
+        return out
 
     # ------------------------------------------------------------------
     def scheduler_opts(self) -> dict:

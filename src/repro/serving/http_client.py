@@ -1,0 +1,210 @@
+"""HTTP client adapter: the estimation service's wire API as a local object.
+
+:class:`HttpEstimationClient` speaks to an
+:class:`~repro.serving.http.EstimationHttpServer` and conforms to the
+:class:`~repro.serving.EstimationClient` protocol (``estimate`` /
+``estimate_batch``), so it drops straight into
+:func:`repro.eval.harness.evaluate_estimator` and every accuracy/latency
+harness written against in-process clients — point the harness at a URL
+instead of a model and nothing else changes.
+
+Built on :mod:`http.client` (stdlib): one keep-alive connection per
+thread (thread-local, so the harness's ``concurrency=N`` closed loop gets
+N independent connections), ``TCP_NODELAY`` against Nagle/delayed-ACK
+stalls, and a single transparent retry when a kept-alive connection turns
+out to have been closed server-side (estimates are read-only, so the
+retry is safe).
+
+Error mapping: 4xx responses raise :class:`~repro.errors.QueryError`
+(caller bug — malformed DSL, unknown model/tenant, quota), 5xx raise
+:class:`~repro.errors.ServingError` (server state — shed, draining,
+deadline); both carry the server's JSON ``error`` message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import QueryError, ServingError
+from repro.relational.dsl import query_to_dict
+from repro.relational.query import Query
+
+
+class HttpEstimationClient:
+    """Estimate over the wire; protocol-compatible with in-process clients.
+
+    Parameters
+    ----------
+    host, port:
+        The server's bound address (``HttpServerThread.host/.port``).
+    model:
+        Model name for the ``/v1/models/{model}/estimate`` route.
+    tenant:
+        Sent as ``X-Tenant`` (admission quota identity); None omits the
+        header (the server applies the default quota).
+    timeout:
+        Socket timeout in seconds for connect/read.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        model: str,
+        *,
+        tenant: Optional[str] = None,
+        timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.model = model
+        self.tenant = tenant
+        self.timeout = timeout
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            conn.connect()
+            if conn.sock is not None:
+                conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._local.conn = conn
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    def close(self) -> None:
+        """Close this thread's connection (others close on their threads)."""
+        self._drop_connection()
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> "tuple[int, Dict[str, str], bytes]":
+        headers = {"Connection": "keep-alive"}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        if self.tenant is not None:
+            headers["X-Tenant"] = self.tenant
+        # A kept-alive connection may have been closed server-side (drain,
+        # idle timeout) between requests; estimates are read-only, so one
+        # transparent retry on a fresh connection is safe.
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                payload = response.read()
+            except (
+                http.client.RemoteDisconnected,
+                http.client.BadStatusLine,
+                ConnectionError,
+                BrokenPipeError,
+            ):
+                self._drop_connection()
+                if attempt:
+                    raise
+                continue
+            if response.getheader("Connection", "").lower() == "close":
+                self._drop_connection()
+            return response.status, dict(response.getheaders()), payload
+        raise ServingError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    def _decode(status: int, payload: bytes) -> dict:
+        try:
+            doc = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServingError(
+                f"server returned non-JSON body (status {status})"
+            ) from exc
+        if 200 <= status < 300:
+            return doc
+        message = doc.get("error", "") if isinstance(doc, dict) else str(doc)
+        if 400 <= status < 500:
+            raise QueryError(f"HTTP {status}: {message}")
+        raise ServingError(f"HTTP {status}: {message}")
+
+    # ------------------------------------------------------------------
+    # EstimationClient protocol
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        query: Query,
+        *,
+        seed: Optional[int] = None,
+        n_samples: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> float:
+        """Blocking single-query estimate over the wire."""
+        body: Dict[str, object] = {"query": query_to_dict(query)}
+        if seed is not None:
+            body["seed"] = seed
+        if n_samples is not None:
+            body["n_samples"] = n_samples
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        doc = self._post_estimate(body)
+        return float(doc["estimate"])
+
+    def estimate_batch(
+        self,
+        queries: Sequence[Query],
+        *,
+        seeds: Optional[Sequence[Optional[int]]] = None,
+        n_samples: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> np.ndarray:
+        """Batch estimate over the wire; one request, order-preserving."""
+        body: Dict[str, object] = {
+            "queries": [query_to_dict(q) for q in queries]
+        }
+        if seeds is not None:
+            body["seeds"] = list(seeds)
+        if n_samples is not None:
+            body["n_samples"] = n_samples
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        doc = self._post_estimate(body)
+        return np.array(doc["estimates"], dtype=np.float64)
+
+    def _post_estimate(self, body: Dict[str, object]) -> dict:
+        status, _, payload = self._request(
+            "POST",
+            f"/v1/models/{self.model}/estimate",
+            json.dumps(body).encode("utf-8"),
+        )
+        return self._decode(status, payload)
+
+    # ------------------------------------------------------------------
+    # Operational endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """The server's ``/healthz`` JSON (raises ServingError on 5xx)."""
+        status, _, payload = self._request("GET", "/healthz")
+        return self._decode(status, payload)
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus text from ``/metrics``."""
+        status, _, payload = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServingError(f"/metrics returned HTTP {status}")
+        return payload.decode("utf-8")
+
+
+__all__ = ["HttpEstimationClient"]

@@ -197,6 +197,12 @@ class EstimationService:
         with self._lock:
             return self._pools.get(name)
 
+    @property
+    def refreshers(self) -> tuple:
+        """Attached background refreshers (health/metrics introspection)."""
+        with self._lock:
+            return tuple(self._refreshers)
+
     def _on_swap(self, name: str, estimator: NeuroCard, version: int) -> None:
         with self._lock:
             pool = self._pools.get(name)

@@ -1,0 +1,137 @@
+"""The bench-regression gate itself: silent-pass holes must stay closed."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+
+
+def run_gate(tmp_path, baseline, reports, *flags):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(baseline))
+    report_paths = []
+    for i, report in enumerate(reports):
+        path = tmp_path / f"report_{i}.json"
+        path.write_text(json.dumps(report))
+        report_paths.append(str(path))
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--baseline", str(baseline_path),
+         *flags, *report_paths],
+        capture_output=True, text=True,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+BASELINE = {
+    "tolerance": 0.25,
+    "metrics": {
+        "b1.qps": {"value": 100, "direction": "higher"},
+        "b2.p95_ms": {"value": 10, "direction": "lower"},
+    },
+}
+
+
+class TestHappyPaths:
+    def test_healthy_reports_pass(self, tmp_path):
+        code, out = run_gate(
+            tmp_path, BASELINE,
+            [{"bench": "b1", "qps": 120}, {"bench": "b2", "p95_ms": 9}],
+            "--require-all",
+        )
+        assert code == 0, out
+        assert "passed (2 metrics" in out
+
+    def test_regression_fails(self, tmp_path):
+        code, out = run_gate(
+            tmp_path, BASELINE, [{"bench": "b1", "qps": 10}],
+        )
+        assert code == 1
+        assert "REGRESSED" in out
+
+    def test_absent_bench_skipped_without_require_all(self, tmp_path):
+        code, out = run_gate(tmp_path, BASELINE, [{"bench": "b1", "qps": 120}])
+        assert code == 0, out
+        assert "SKIPPED" in out
+
+    def test_only_restricts_the_gate(self, tmp_path):
+        code, out = run_gate(
+            tmp_path, BASELINE, [{"bench": "b1", "qps": 120}],
+            "--require-all", "--only", "b1",
+        )
+        assert code == 0, out
+
+
+class TestSilentPassHoles:
+    def test_duplicate_bench_names_are_a_hard_error(self, tmp_path):
+        """A regressed report must not hide behind a healthy one with the
+        same bench name (dict-keyed loading used to keep only the last)."""
+        code, out = run_gate(
+            tmp_path, BASELINE,
+            [{"bench": "b1", "qps": 1}, {"bench": "b1", "qps": 120}],
+        )
+        assert code == 1
+        assert "duplicate bench 'b1'" in out
+
+    def test_renamed_bench_is_a_hard_error(self, tmp_path):
+        code, out = run_gate(
+            tmp_path, BASELINE, [{"bench": "b1_renamed", "qps": 120}],
+        )
+        assert code == 1
+        assert "no baseline metrics" in out
+
+    def test_missing_field_is_a_hard_error(self, tmp_path):
+        code, out = run_gate(
+            tmp_path, BASELINE, [{"bench": "b1", "qps_renamed": 120}],
+        )
+        assert code == 1
+        assert "missing from the b1 report" in out
+
+    def test_empty_intersection_fails_under_require_all(self, tmp_path):
+        """--require-all must never 'pass' having checked zero metrics."""
+        code, out = run_gate(
+            tmp_path,
+            {"tolerance": 0.25, "metrics": {}},
+            [{"bench": "b1", "qps": 120}],
+            "--require-all",
+        )
+        assert code == 1
+
+    def test_empty_metrics_and_matching_nothing_fails(self, tmp_path):
+        # Degenerate but explicit: an empty baseline cannot gate anything.
+        baseline = {"tolerance": 0.25, "metrics": {}}
+        report = {"bench": "anything", "x": 1}
+        code, out = run_gate(tmp_path, baseline, [report], "--require-all")
+        assert code == 1
+
+    def test_require_all_fails_on_absent_bench(self, tmp_path):
+        code, out = run_gate(
+            tmp_path, BASELINE, [{"bench": "b1", "qps": 120}], "--require-all"
+        )
+        assert code == 1
+        assert "has no report" in out
+
+
+class TestZeroToleranceMetrics:
+    def test_boolean_metric_with_zero_tolerance(self, tmp_path):
+        baseline = {
+            "tolerance": 0.25,
+            "metrics": {
+                "b.bitwise": {"value": 1, "direction": "higher", "tolerance": 0.0}
+            },
+        }
+        code, _ = run_gate(tmp_path, baseline, [{"bench": "b", "bitwise": 1}])
+        assert code == 0
+        code, out = run_gate(tmp_path, baseline, [{"bench": "b", "bitwise": 0}])
+        assert code == 1
+        assert "REGRESSED" in out
+
+
+@pytest.mark.parametrize("report", [{}, {"qps": 1}])
+def test_report_without_bench_name_is_rejected(tmp_path, report):
+    code, out = run_gate(tmp_path, BASELINE, [report])
+    assert code == 1
+    assert "no 'bench' name" in out

@@ -1,0 +1,238 @@
+"""Wire-format JSON DSL: structural compilation, round-trips, row equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.relational.dsl import (
+    OP_ALIASES,
+    predicate_from_dict,
+    predicate_to_dict,
+    query_from_dict,
+    query_to_dict,
+)
+from repro.relational.predicate import Predicate
+from repro.relational.query import Query
+from repro.relational.table import Table
+
+
+class TestPredicateFromDict:
+    def test_explicit_table_key(self):
+        pred = predicate_from_dict(
+            {"table": "t", "column": "c", "op": ">=", "value": 3}
+        )
+        assert pred == Predicate("t", "c", ">=", 3)
+
+    def test_dotted_column(self):
+        pred = predicate_from_dict({"column": "t.c", "op": "<", "value": 7})
+        assert pred == Predicate("t", "c", "<", 7)
+
+    def test_dotted_column_agreeing_table_key(self):
+        pred = predicate_from_dict(
+            {"table": "t", "column": "t.c", "op": "=", "value": 1}
+        )
+        assert pred == Predicate("t", "c", "=", 1)
+
+    def test_dotted_column_contradicting_table_key(self):
+        with pytest.raises(QueryError, match="contradicts"):
+            predicate_from_dict(
+                {"table": "u", "column": "t.c", "op": "=", "value": 1}
+            )
+
+    @pytest.mark.parametrize("alias,canonical", sorted(OP_ALIASES.items()))
+    def test_every_alias_compiles_to_its_canonical_op(self, alias, canonical):
+        value = [1, 2] if canonical == "IN" else 1
+        pred = predicate_from_dict(
+            {"table": "t", "column": "c", "op": alias, "value": value}
+        )
+        assert pred.op == canonical
+
+    def test_in_requires_list(self):
+        with pytest.raises(QueryError, match="list value"):
+            predicate_from_dict(
+                {"table": "t", "column": "c", "op": "in", "value": 3}
+            )
+
+    def test_in_list_becomes_tuple(self):
+        pred = predicate_from_dict(
+            {"table": "t", "column": "c", "op": "in", "value": [3, 1]}
+        )
+        assert pred.value == (3, 1)
+
+    def test_comparison_rejects_list_value(self):
+        with pytest.raises(QueryError, match="scalar"):
+            predicate_from_dict(
+                {"table": "t", "column": "c", "op": "<", "value": [1]}
+            )
+
+    def test_comparison_rejects_null_value(self):
+        with pytest.raises(QueryError, match="scalar"):
+            predicate_from_dict(
+                {"table": "t", "column": "c", "op": "<", "value": None}
+            )
+
+    def test_unknown_op(self):
+        with pytest.raises(QueryError, match="unsupported filter op"):
+            predicate_from_dict(
+                {"table": "t", "column": "c", "op": "!=", "value": 1}
+            )
+
+    def test_unknown_key(self):
+        with pytest.raises(QueryError, match="unknown filter key"):
+            predicate_from_dict(
+                {"table": "t", "column": "c", "op": "=", "value": 1, "x": 2}
+            )
+
+    def test_missing_column(self):
+        with pytest.raises(QueryError, match="string 'column'"):
+            predicate_from_dict({"table": "t", "op": "=", "value": 1})
+
+    def test_missing_table(self):
+        with pytest.raises(QueryError, match="requires a 'table'"):
+            predicate_from_dict({"column": "c", "op": "=", "value": 1})
+
+    def test_missing_value(self):
+        with pytest.raises(QueryError, match="requires a 'value'"):
+            predicate_from_dict({"table": "t", "column": "c", "op": "="})
+
+    def test_non_mapping(self):
+        with pytest.raises(QueryError, match="must be an object"):
+            predicate_from_dict([1, 2])
+
+
+class TestQueryFromDict:
+    def test_full_document(self):
+        query = query_from_dict(
+            {
+                "tables": ["R", "C"],
+                "filters": [
+                    {"column": "R.year", "op": "gte", "value": 1990},
+                    {"table": "C", "column": "kind", "op": "in", "value": [0, 1]},
+                ],
+                "name": "q1",
+            }
+        )
+        assert query == Query.make(
+            ["R", "C"],
+            [
+                Predicate("R", "year", ">=", 1990),
+                Predicate("C", "kind", "IN", (0, 1)),
+            ],
+            "q1",
+        )
+
+    def test_filters_default_empty(self):
+        query = query_from_dict({"tables": ["R"]})
+        assert query.predicates == ()
+
+    def test_unknown_key(self):
+        with pytest.raises(QueryError, match="unknown query key"):
+            query_from_dict({"tables": ["R"], "predicates": []})
+
+    def test_tables_required(self):
+        with pytest.raises(QueryError, match="non-empty list"):
+            query_from_dict({"filters": []})
+        with pytest.raises(QueryError, match="non-empty list"):
+            query_from_dict({"tables": []})
+        with pytest.raises(QueryError, match="non-empty list"):
+            query_from_dict({"tables": "R"})
+
+    def test_filters_must_be_list(self):
+        with pytest.raises(QueryError, match="must be a list"):
+            query_from_dict({"tables": ["R"], "filters": {"column": "R.c"}})
+
+    def test_name_must_be_string(self):
+        with pytest.raises(QueryError, match="'name' must be a string"):
+            query_from_dict({"tables": ["R"], "name": 3})
+
+    def test_query_invariants_still_apply(self):
+        # Query.make's own checks surface through the same QueryError type.
+        with pytest.raises(QueryError):
+            query_from_dict(
+                {
+                    "tables": ["R"],
+                    "filters": [{"column": "X.c", "op": "=", "value": 1}],
+                }
+            )
+
+
+class TestRoundTrip:
+    def test_query_round_trips(self):
+        query = Query.make(
+            ["R", "C"],
+            [
+                Predicate("R", "year", "<=", 1995),
+                Predicate("C", "kind", "IN", (0, 2)),
+            ],
+            "labelled",
+        )
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_numpy_scalars_coerce_to_json_native(self):
+        query = Query.make(
+            ["R"],
+            [
+                Predicate("R", "year", ">", np.int64(1991)),
+                Predicate("R", "kind", "IN", (np.int64(1), np.int64(2))),
+            ],
+        )
+        doc = query_to_dict(query)
+        assert type(doc["filters"][0]["value"]) is int
+        assert all(type(v) is int for v in doc["filters"][1]["value"])
+        # Coerced values compare equal, so the round trip is an equal query.
+        assert query_from_dict(doc) == query
+
+
+# -- property: DSL-compiled == hand-built, down to the selected rows ------
+
+_wire_filters = st.one_of(
+    st.tuples(
+        st.sampled_from(["=", "==", "eq", "<", "lt", "<=", "le", "lte",
+                         ">", "gt", ">=", "ge", "gte"]),
+        st.integers(-55, 55),
+    ),
+    st.tuples(
+        st.sampled_from(["in", "IN"]),
+        st.lists(st.integers(-55, 55), min_size=0, max_size=6),
+    ),
+)
+
+
+class TestSelectsSameRows:
+    @given(
+        st.lists(st.one_of(st.integers(-50, 50), st.none()),
+                 min_size=0, max_size=60),
+        _wire_filters,
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_compiled_mask_equals_hand_built_mask(self, values, wire):
+        """A wire filter selects exactly the rows its hand-built twin does."""
+        op, value = wire
+        table = Table.from_dict("T", {"c": values})
+        compiled = predicate_from_dict({"column": "T.c", "op": op, "value": value})
+        canonical = OP_ALIASES[op]
+        hand_built = Predicate(
+            "T", "c", canonical,
+            tuple(value) if canonical == "IN" else value,
+        )
+        assert compiled == hand_built
+        np.testing.assert_array_equal(
+            compiled.mask(table), hand_built.mask(table)
+        )
+
+    @given(
+        st.lists(st.one_of(st.integers(-50, 50), st.none()),
+                 min_size=0, max_size=60),
+        _wire_filters,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wire_round_trip_preserves_selected_rows(self, values, wire):
+        op, value = wire
+        table = Table.from_dict("T", {"c": values})
+        pred = predicate_from_dict({"column": "T.c", "op": op, "value": value})
+        round_tripped = predicate_from_dict(predicate_to_dict(pred))
+        np.testing.assert_array_equal(
+            pred.mask(table), round_tripped.mask(table)
+        )

@@ -1,0 +1,171 @@
+"""Admission control: token buckets, bounded queue, deadline shedding."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.admission import (
+    AdmissionController,
+    TenantQuota,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTokenBucket:
+    def test_unlimited_always_admits(self):
+        bucket = TokenBucket(None, clock=FakeClock())
+        assert bucket.acquire(10_000) == 0.0
+
+    def test_burst_then_exact_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, clock=clock)  # burst defaults to rate
+        assert bucket.acquire(10) == 0.0  # drain the whole burst
+        # 4 tokens short at 10/s -> exactly 0.4s to refill the deficit.
+        assert bucket.acquire(4) == pytest.approx(0.4)
+        clock.advance(0.4)
+        assert bucket.acquire(4) == 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=5.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.acquire(2) == 0.0
+        assert bucket.acquire(1) > 0.0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ServingError):
+            TokenBucket(rate=0.0)
+
+
+class TestTenantQuota:
+    def test_capacity_defaults_to_rate(self):
+        assert TenantQuota("t", rate=7.0).capacity == 7.0
+        assert TenantQuota("t", rate=7.0, burst=3.0).capacity == 3.0
+        assert TenantQuota("t").capacity is None
+
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            TenantQuota("")
+        with pytest.raises(ServingError):
+            TenantQuota("t", rate=-1.0)
+        with pytest.raises(ServingError):
+            TenantQuota("t", burst=0.0)
+
+
+class TestAdmit:
+    def test_unknown_tenant_defaults_when_not_strict(self):
+        ctl = AdmissionController(max_queue=4)
+        decision = ctl.admit("anyone")
+        assert decision.admitted
+
+    def test_unknown_tenant_403_when_strict(self):
+        ctl = AdmissionController(
+            tenants=(TenantQuota("vip"),), strict_tenants=True
+        )
+        rejected = ctl.admit("anyone")
+        assert (rejected.admitted, rejected.status, rejected.reason) == (
+            False, 403, "tenant",
+        )
+        assert ctl.admit("vip").admitted
+
+    def test_rate_limit_429_with_retry_after(self):
+        clock = FakeClock()
+        ctl = AdmissionController(
+            default_quota=TenantQuota("default", rate=2.0), clock=clock
+        )
+        assert ctl.admit("a", cost=2).admitted
+        rejected = ctl.admit("a", cost=1)
+        assert (rejected.status, rejected.reason) == (429, "rate")
+        assert rejected.retry_after == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert ctl.admit("a", cost=1).admitted
+
+    def test_tenants_have_independent_buckets(self):
+        clock = FakeClock()
+        ctl = AdmissionController(
+            default_quota=TenantQuota("default", rate=1.0), clock=clock
+        )
+        assert ctl.admit("a").admitted
+        assert not ctl.admit("a").admitted
+        assert ctl.admit("b").admitted  # b's bucket is untouched by a's
+
+    def test_queue_bound_503(self):
+        ctl = AdmissionController(max_queue=2)
+        assert ctl.admit("a").admitted
+        assert ctl.admit("a").admitted
+        rejected = ctl.admit("a")
+        assert (rejected.status, rejected.reason) == (503, "queue")
+        ctl.release(0.01)
+        assert ctl.admit("a").admitted
+
+    def test_queue_rejection_refunds_bucket_tokens(self):
+        clock = FakeClock()
+        ctl = AdmissionController(
+            max_queue=1,
+            default_quota=TenantQuota("default", rate=10.0),
+            clock=clock,
+        )
+        assert ctl.admit("a", cost=5).admitted
+        # Queue-full rejection must hand the 5 tokens back: otherwise a
+        # full queue would double-punish the tenant's quota.
+        assert ctl.admit("a", cost=5).reason == "queue"
+        ctl.release(0.01)
+        assert ctl.admit("a", cost=5).admitted
+
+    def test_infeasible_deadline_shed_up_front(self):
+        ctl = AdmissionController(max_queue=10)
+        # Teach the EWMA that requests take ~1s.
+        assert ctl.admit("a").admitted
+        ctl.release(1.0)
+        rejected = ctl.admit("a", deadline_s=0.05)
+        assert (rejected.status, rejected.reason) == (503, "deadline")
+        # A generous deadline still clears the same predictor.
+        assert ctl.admit("a", deadline_s=30.0).admitted
+
+    def test_expired_deadline_always_shed(self):
+        ctl = AdmissionController()
+        assert ctl.admit("a", deadline_s=0.0).reason == "deadline"
+        assert ctl.admit("a", deadline_s=-1.0).reason == "deadline"
+
+    def test_no_latency_history_admits_any_future_deadline(self):
+        ctl = AdmissionController()
+        assert ctl.admit("a", deadline_s=0.001).admitted
+
+    def test_prediction_scales_with_occupancy(self):
+        ctl = AdmissionController(max_queue=2)
+        assert ctl.admit("a").admitted
+        ctl.release(0.1)  # EWMA = 0.1s, in_flight back to 0
+        assert ctl.admit("a", deadline_s=0.15).admitted  # 0.1 * (1 + 0/2)
+        # Now in_flight=1: predicted 0.1 * (1 + 1/2) = 0.15 > 0.14.
+        assert ctl.admit("a", deadline_s=0.14).reason == "deadline"
+
+    def test_counters_reconcile(self):
+        ctl = AdmissionController(max_queue=1, strict_tenants=True,
+                                  tenants=(TenantQuota("a"),))
+        ctl.admit("a")
+        ctl.admit("a")          # queue
+        ctl.admit("ghost")      # tenant
+        ctl.release(0.01)
+        stats = ctl.stats()
+        assert stats["admitted"] == {"a": 1}
+        assert stats["shed"] == {"a/queue": 1, "ghost/tenant": 1}
+        assert stats["in_flight"] == 0
+
+    def test_release_feeds_ewma(self):
+        ctl = AdmissionController()
+        ctl.admit("a")
+        ctl.release(1.0)
+        assert ctl.ewma_latency == 1.0
+        ctl.admit("a")
+        ctl.release(0.0)
+        assert ctl.ewma_latency == pytest.approx(0.8)  # alpha = 0.2

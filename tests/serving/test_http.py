@@ -1,0 +1,343 @@
+"""HTTP front end: wire equivalence, 4xx surfaces, shedding, graceful drain."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError, ServingError
+from repro.eval.harness import evaluate_estimator, true_cardinalities
+from repro.relational.predicate import Predicate
+from repro.relational.query import Query
+from repro.serving import (
+    EstimationService,
+    HttpConfig,
+    HttpEstimationClient,
+    HttpServerThread,
+    ServingConfig,
+    TenantQuota,
+)
+from repro.serving.metrics import parse_samples
+from tests.core.test_estimator import correlated_schema
+from tests.serving.conftest import FakeModel
+
+
+@pytest.fixture(scope="module")
+def http_stack(oracle_engine):
+    """One served oracle model behind a live HTTP server (read-only)."""
+    service = EstimationService()
+    service.register("oracle", oracle_engine)
+    with HttpServerThread(service, HttpConfig(port=0)) as server:
+        yield service, server
+    service.close()
+
+
+@pytest.fixture()
+def client(http_stack):
+    _, server = http_stack
+    client = HttpEstimationClient(server.host, server.port, "oracle")
+    yield client
+    client.close()
+
+
+class TestWireEquivalence:
+    def test_single_estimate_bitwise_equals_in_process(self, http_stack, client, workload):
+        service, _ = http_stack
+        for i, query in enumerate(workload):
+            assert client.estimate(query, seed=50 + i) == service.estimate(
+                query, seed=50 + i
+            )
+
+    def test_batch_estimate_bitwise_equals_in_process(self, http_stack, client, workload):
+        service, _ = http_stack
+        seeds = [100 + i for i in range(len(workload))]
+        wire = client.estimate_batch(workload, seeds=seeds)
+        ref = np.array(
+            [service.estimate(q, seed=s) for q, s in zip(workload, seeds)]
+        )
+        assert np.array_equal(wire, ref)
+
+    def test_n_samples_override_travels(self, http_stack, client, workload):
+        service, _ = http_stack
+        query = workload[0]
+        assert client.estimate(query, seed=9, n_samples=32) == (
+            service.submit(query, seed=9, n_samples=32).result()
+        )
+
+    def test_harness_drives_the_wire_client(self, client, workload):
+        """evaluate_estimator accepts the HTTP adapter unchanged."""
+        schema = correlated_schema(n_root=12, seed=4)
+        truths = true_cardinalities(schema, workload)
+        result = evaluate_estimator(
+            "over-the-wire", client, workload, truths, concurrency=2
+        )
+        assert len(result.errors) == len(workload)
+        assert all(np.isfinite(e) and e >= 1.0 for e in result.errors)
+
+
+class TestBadRequests:
+    def _post_raw(self, client, body: bytes, path=None):
+        status, _, payload = client._request(
+            "POST", path or f"/v1/models/{client.model}/estimate", body
+        )
+        return status, json.loads(payload.decode())
+
+    def test_malformed_json_is_400(self, client):
+        status, doc = self._post_raw(client, b"{not json")
+        assert status == 400
+        assert "not valid JSON" in doc["error"]
+
+    def test_non_object_body_is_400(self, client):
+        status, doc = self._post_raw(client, b"[1, 2]")
+        assert status == 400
+        assert "JSON object" in doc["error"]
+
+    def test_unknown_body_key_is_400(self, client):
+        status, doc = self._post_raw(
+            client, json.dumps({"query": {"tables": ["R"]}, "qeury": 1}).encode()
+        )
+        assert status == 400
+        assert "qeury" in doc["error"]
+
+    def test_query_and_queries_together_is_400(self, client):
+        body = {"query": {"tables": ["R"]}, "queries": [{"tables": ["R"]}]}
+        status, doc = self._post_raw(client, json.dumps(body).encode())
+        assert status == 400
+        assert "exactly one of" in doc["error"]
+
+    def test_missing_both_is_400(self, client):
+        status, _ = self._post_raw(client, b"{}")
+        assert status == 400
+
+    def test_seed_count_mismatch_is_400(self, client):
+        body = {"queries": [{"tables": ["R"]}], "seeds": [1, 2]}
+        status, doc = self._post_raw(client, json.dumps(body).encode())
+        assert status == 400
+        assert "matching 'queries'" in doc["error"]
+
+    def test_bad_dsl_is_400(self, client):
+        body = {"query": {"tables": ["R"],
+                          "filters": [{"column": "R.year", "op": "!=", "value": 1}]}}
+        status, doc = self._post_raw(client, json.dumps(body).encode())
+        assert status == 400
+        assert "unsupported filter op" in doc["error"]
+
+    def test_unknown_column_is_400(self, client):
+        """Submit-time validation (plan/layout) surfaces as a 400, not a 500."""
+        query = Query.make(["R"], [Predicate("R", "id", "=", 1)])  # excluded col
+        with pytest.raises(QueryError, match="400"):
+            client.estimate(query)
+
+    def test_unknown_model_is_404(self, http_stack):
+        _, server = http_stack
+        ghost = HttpEstimationClient(server.host, server.port, "ghost")
+        with pytest.raises(QueryError, match="404"):
+            ghost.estimate(Query.make(["R"], []))
+        ghost.close()
+
+    def test_unknown_route_is_404(self, client):
+        status, _, _ = client._request("GET", "/v2/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, client):
+        status, _, _ = client._request("GET", "/v1/models/oracle/estimate")
+        assert status == 405
+
+    def test_oversized_body_is_413(self, http_stack):
+        service, _ = http_stack
+        with HttpServerThread(
+            service, HttpConfig(port=0, max_body_bytes=64)
+        ) as small:
+            tiny = HttpEstimationClient(small.host, small.port, "oracle")
+            status, _, payload = tiny._request(
+                "POST", "/v1/models/oracle/estimate", b"x" * 65
+            )
+            assert status == 413
+            tiny.close()
+
+
+class TestAdmissionOverTheWire:
+    def test_unknown_tenant_is_403_when_strict(self, oracle_engine):
+        config = ServingConfig(
+            http=HttpConfig(
+                port=0, tenants=(TenantQuota("vip"),), strict_tenants=True
+            )
+        )
+        service = EstimationService(config=config)
+        service.register("oracle", oracle_engine)
+        query = Query.make(["R"], [])
+        # No explicit HttpConfig argument: the section must flow in from
+        # ServingConfig.http.
+        with HttpServerThread(service) as server:
+            anon = HttpEstimationClient(server.host, server.port, "oracle")
+            with pytest.raises(QueryError, match="403"):
+                anon.estimate(query)
+            vip = HttpEstimationClient(
+                server.host, server.port, "oracle", tenant="vip"
+            )
+            assert vip.estimate(query, seed=1) > 0
+            anon.close()
+            vip.close()
+        service.close()
+
+    def test_quota_exhaustion_is_429_with_retry_after(self, oracle_engine):
+        service = EstimationService()
+        service.register("oracle", oracle_engine)
+        query = Query.make(["R"], [])
+        with HttpServerThread(
+            service, HttpConfig(port=0, rate=2.0)
+        ) as server:
+            client = HttpEstimationClient(server.host, server.port, "oracle")
+            client.estimate(query, seed=1)
+            client.estimate(query, seed=2)
+            status, headers, payload = client._request(
+                "POST",
+                "/v1/models/oracle/estimate",
+                json.dumps({"query": {"tables": ["R"]}}).encode(),
+            )
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            assert "rate" in json.loads(payload.decode())["error"]
+            client.close()
+        service.close()
+
+    def test_infeasible_deadline_shed_with_503(self):
+        """Once the EWMA knows requests are slow, tight deadlines shed early."""
+        service = EstimationService()
+        service.register("slow", FakeModel(tag=7.0, delay=0.2))
+        query = Query.make(["R"], [])
+        with HttpServerThread(service, HttpConfig(port=0)) as server:
+            client = HttpEstimationClient(server.host, server.port, "slow")
+            assert client.estimate(query) == 7.0  # teaches the EWMA ~0.2s
+            with pytest.raises(ServingError, match="503.*deadline"):
+                client.estimate(query, deadline_ms=10.0)
+            shed = server.server.admission.stats()["shed"]
+            assert shed == {"default/deadline": 1}
+            client.close()
+        service.close()
+
+    def test_in_flight_deadline_expiry_is_504(self):
+        service = EstimationService()
+        service.register("slow", FakeModel(tag=7.0, delay=0.3))
+        query = Query.make(["R"], [])
+        with HttpServerThread(service, HttpConfig(port=0)) as server:
+            client = HttpEstimationClient(server.host, server.port, "slow")
+            # No latency history yet, so admission lets it through; the
+            # in-flight timer then fires before the model answers.
+            with pytest.raises(ServingError, match="504"):
+                client.estimate(query, deadline_ms=50.0)
+            client.close()
+        service.close()
+
+
+class TestObservability:
+    def test_healthz_reports_models_and_admission(self, client):
+        doc = client.healthz()
+        assert doc["status"] == "ok"
+        assert doc["models"] == ["oracle"]
+        assert doc["admission"]["in_flight"] == 0
+        assert "registry" in doc
+
+    def test_metrics_reconcile_exactly_with_client_tallies(self, oracle_engine, workload):
+        service = EstimationService()
+        service.register("oracle", oracle_engine)
+        with HttpServerThread(
+            service, HttpConfig(port=0, rate=4.0)
+        ) as server:
+            client = HttpEstimationClient(
+                server.host, server.port, "oracle", tenant="t1"
+            )
+            ok = shed = queries = 0
+            # Batch of 3 + two singles = 5 tokens against a burst of 4.
+            for body in (
+                {"queries": [{"tables": ["R"]}] * 3, "seeds": [1, 2, 3]},
+                {"query": {"tables": ["R"]}, "seed": 4},
+                {"query": {"tables": ["R"]}, "seed": 5},
+            ):
+                status, _, payload = client._request(
+                    "POST",
+                    "/v1/models/oracle/estimate",
+                    json.dumps(body).encode(),
+                )
+                if status == 200:
+                    ok += 1
+                    doc = json.loads(payload.decode())
+                    queries += len(doc.get("estimates", [0.0]))
+                else:
+                    assert status == 429
+                    shed += 1
+            assert ok == 2 and shed == 1  # 3 + 1 admitted, then the bucket is dry
+            samples = parse_samples(client.metrics_text())
+            assert samples['repro_http_requests_total{code="200",tenant="t1"}'] == ok
+            assert samples['repro_http_requests_total{code="429",tenant="t1"}'] == shed
+            assert samples['repro_http_queries_total{tenant="t1"}'] == queries
+            assert samples['repro_http_shed_total{reason="rate",tenant="t1"}'] == shed
+            assert (
+                samples['repro_http_request_seconds_count{tenant="t1"}'] == ok
+            )
+            client.close()
+        service.close()
+
+    def test_metrics_export_scheduler_gauges(self, client):
+        client.estimate(Query.make(["R"], []), seed=11)
+        samples = parse_samples(client.metrics_text())
+        key = 'repro_scheduler_stat{model="oracle",stat="requests"}'
+        assert samples[key] >= 1
+
+
+class TestGracefulDrain:
+    def test_drain_under_load_drops_no_admitted_request(self):
+        """Every admitted request is answered; late ones see clean errors."""
+        service = EstimationService()
+        service.register("m", FakeModel(tag=3.0, delay=0.02))
+        server = HttpServerThread(service, HttpConfig(port=0)).start()
+        query = Query.make(["R"], [])
+
+        successes = []
+        clean_rejections = []
+        anomalies = []
+        stop = threading.Event()
+
+        def worker():
+            client = HttpEstimationClient(server.host, server.port, "m")
+            while not stop.is_set():
+                try:
+                    successes.append(client.estimate(query))
+                except ServingError:
+                    clean_rejections.append("shed")  # 503 draining
+                except (ConnectionError, OSError):
+                    clean_rejections.append("closed")  # listener gone
+                except Exception as exc:  # noqa: BLE001
+                    anomalies.append(repr(exc))
+            client.close()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        # Let traffic build, then drain mid-flight.
+        while len(successes) < 20:
+            pass
+        admission = server.server.admission
+        server.stop()  # graceful drain: flush in-flight, then tear down
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+
+        assert not anomalies
+        # Zero dropped in-flight futures: everything admission admitted
+        # produced a 200 the load generator observed.
+        assert sum(admission.admitted.values()) == len(successes)
+        assert all(v == 3.0 for v in successes)
+        assert admission.in_flight == 0
+        service.close()
+
+    def test_stop_is_idempotent(self, oracle_engine):
+        service = EstimationService()
+        service.register("oracle", oracle_engine)
+        server = HttpServerThread(service, HttpConfig(port=0)).start()
+        server.stop()
+        server.stop()
+        service.close()
