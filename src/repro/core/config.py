@@ -34,6 +34,12 @@ class NeuroCardConfig:
     #: default), "fp64" (oracle mode, bitwise-equal to the reference
     #: forward), or "off" (uncompiled reference engine).
     compiled_inference: str = "fp32"
+    #: Compiled-kernel weight quantization: "off" (full fp32 kernels),
+    #: "int16", or "int8". Quantized modes store the folded LUTs and GEMM
+    #: weights at reduced precision with per-channel scales and accumulate
+    #: in fp32; they require ``compiled_inference == "fp32"`` (the fp64
+    #: oracle stays unquantized so it can serve as the drift reference).
+    quantization: str = "off"
 
     def validate(self) -> None:
         if self.d_emb < 1 or self.d_ff < 1 or self.n_blocks < 0:
@@ -50,4 +56,15 @@ class NeuroCardConfig:
             raise TrainingError(
                 "compiled_inference must be 'off', 'fp32', or 'fp64'; "
                 f"got {self.compiled_inference!r}"
+            )
+        if self.quantization not in ("off", "int16", "int8"):
+            raise TrainingError(
+                "quantization must be 'off', 'int16', or 'int8'; "
+                f"got {self.quantization!r}"
+            )
+        if self.quantization != "off" and self.compiled_inference != "fp32":
+            raise TrainingError(
+                "quantized kernels require compiled_inference='fp32' "
+                f"(got {self.compiled_inference!r}); the fp64 oracle and the "
+                "uncompiled reference engine stay full-precision"
             )

@@ -207,7 +207,10 @@ class NeuroCard:
         registry's hot-swap path, so stale compiled state never survives a
         weight change."""
         return build_engine(
-            self.model, self.layout, self.counts.full_join_size, self._compile_mode
+            self.model, self.layout, self.counts.full_join_size, self._compile_mode,
+            quantization=(
+                self.config.quantization if self._compile_mode == "fp32" else "off"
+            ),
         )
 
     @staticmethod
@@ -291,6 +294,8 @@ class NeuroCard:
         rng: Optional[np.random.Generator] = None,
         n_samples: Optional[int] = None,
         rngs: Optional[Sequence[np.random.Generator]] = None,
+        max_rel_var: Optional[float] = None,
+        min_samples: Optional[int] = None,
     ) -> np.ndarray:
         """Estimated COUNT(*) for many queries in one packed inference pass.
 
@@ -302,6 +307,13 @@ class NeuroCard:
         same generator state as a sequential :meth:`estimate` call, the
         batched result is bitwise-equal to the sequential one (the
         micro-batching scheduler relies on this for deterministic serving).
+
+        ``max_rel_var`` turns on variance-adaptive sampling: every query
+        first runs a cheap probe walk, and only queries whose relative
+        standard error exceeds the bound escalate to the full ``n_samples``
+        walk (on their pristine pinned streams, so escalated results are
+        bitwise-equal to a fixed-``n_samples`` run). ``min_samples``
+        overrides the probe size.
         """
         if not self.is_fitted:
             raise EstimationError("call fit() before estimate_batch()")
@@ -312,6 +324,8 @@ class NeuroCard:
             ),
             rng=rng if rng is not None else self._rng,
             rngs=rngs,
+            max_rel_var=max_rel_var,
+            min_samples=min_samples,
         )
 
     # ------------------------------------------------------------------

@@ -41,8 +41,9 @@ Plan pre-compilation (:func:`precompile_plan`) seeds the kernel's
 wildcard-constant cache with every pattern a resolved
 :class:`~repro.core.progressive.QueryPlan` will present, so registered
 workloads pay pattern assembly before traffic arrives. Compiled state is
-derived from the weights: never persisted (artifacts stay format v2), and
-dropped via :func:`invalidate_compiled` whenever weights change.
+derived from the weights: never persisted (snapshot artifacts carry only
+the raw parameters plus the configured modes), and dropped via
+:func:`invalidate_compiled` whenever weights change.
 """
 
 from __future__ import annotations
@@ -65,6 +66,9 @@ from repro.nn.compiled import CompiledResMADE, supports_compilation
 
 #: Recognized values for ``NeuroCardConfig.compiled_inference``.
 INFERENCE_MODES = ("off", "fp32", "fp64")
+
+#: Recognized values for ``NeuroCardConfig.quantization``.
+QUANTIZATION_MODES = ("off", "int16", "int8")
 
 def _compress(key: np.ndarray) -> np.ndarray:
     """``np.unique(key, return_inverse=True)[1]`` without the sort.
@@ -107,15 +111,27 @@ class CompiledEngine(ProgressiveSampler):
     only the batched walk is re-executed here.
     """
 
-    def __init__(self, model, layout, full_join_size: float, mode: str = "fp32"):
+    def __init__(
+        self,
+        model,
+        layout,
+        full_join_size: float,
+        mode: str = "fp32",
+        quantization: str = "off",
+    ):
         if mode not in ("fp32", "fp64"):
             raise EstimationError(
                 f"CompiledEngine mode must be 'fp32' or 'fp64', got {mode!r}"
             )
+        if quantization != "off" and mode != "fp32":
+            raise EstimationError(
+                "quantized kernels require the fp32 compiled engine "
+                f"(got mode={mode!r})"
+            )
         if not isinstance(model, CompiledResMADE):
             if mode == "fp32":
                 # Raises for non-ResMADE models: fp32 needs real kernels.
-                model = CompiledResMADE(model, mode="fp32")
+                model = CompiledResMADE(model, mode="fp32", quantization=quantization)
             elif supports_compilation(model):
                 model = CompiledResMADE(model, mode="fp64")
             # else: duck-typed oracle model under the fp64 executor — used
@@ -124,15 +140,16 @@ class CompiledEngine(ProgressiveSampler):
         super().__init__(model, layout, full_join_size)
 
     # ------------------------------------------------------------------
-    def _run_batch(
+    def _run_batch_weights(
         self,
         plans: Sequence[QueryPlan],
         n: int,
         rngs: Sequence[np.random.Generator],
     ) -> np.ndarray:
-        """The reference ``_run_batch`` walk with a kernel fold session and
-        the vectorized column step below. Structure intentionally mirrors
-        :meth:`ProgressiveSampler._run_batch` line by line."""
+        """The reference ``_run_batch_weights`` walk with a kernel fold
+        session and the vectorized column step below. Structure
+        intentionally mirrors :meth:`ProgressiveSampler._run_batch_weights`
+        line by line."""
         n_queries = len(plans)
         n_cols = self.layout.n_columns
         tokens = np.zeros((n_queries * n, n_cols), dtype=np.int64)
@@ -233,7 +250,7 @@ class CompiledEngine(ProgressiveSampler):
                 group = self._fold_group(group, col, tokens, wildcard, session, state)
             any_alive = alive.reshape(n_queries, n).any(axis=1)
             active = [qi for qi in active if any_alive[qi]]
-        return weight.reshape(n_queries, n).mean(axis=1)
+        return weight.reshape(n_queries, n)
 
     def _fold_group(self, group, col, tokens, wildcard, session, state):
         """Refine prefix-group ids with one more finalized column.
@@ -526,16 +543,66 @@ class CompiledEngine(ProgressiveSampler):
 # Engine assembly helpers
 # ----------------------------------------------------------------------
 def build_engine(
-    model, layout, full_join_size: float, mode: str = "fp32"
+    model, layout, full_join_size: float, mode: str = "fp32",
+    quantization: str = "off",
 ) -> ProgressiveSampler:
-    """A progressive-sampling engine over ``model`` in the given mode."""
+    """A progressive-sampling engine over ``model`` in the given mode.
+
+    ``quantization`` ("off"/"int16"/"int8") selects the compiled kernels'
+    weight precision and is only valid with ``mode="fp32"`` — the reference
+    and fp64 oracle engines stay full-precision by design.
+    """
     if mode not in INFERENCE_MODES:
         raise EstimationError(
             f"unknown inference mode {mode!r}; expected one of {INFERENCE_MODES}"
         )
+    if quantization not in QUANTIZATION_MODES:
+        raise EstimationError(
+            f"unknown quantization {quantization!r}; "
+            f"expected one of {QUANTIZATION_MODES}"
+        )
     if mode == "off":
+        if quantization != "off":
+            raise EstimationError(
+                "quantized kernels require the compiled fp32 engine "
+                "(mode='fp32'); the reference engine stays full-precision"
+            )
         return ProgressiveSampler(model, layout, full_join_size)
-    return CompiledEngine(model, layout, full_join_size, mode=mode)
+    return CompiledEngine(
+        model, layout, full_join_size, mode=mode, quantization=quantization
+    )
+
+
+def measure_quantization_drift(
+    engine: ProgressiveSampler,
+    queries,
+    *,
+    n_samples: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Per-query relative drift of a quantized engine vs its fp64 oracle.
+
+    Runs the same pinned-seed batched walk twice — once through the
+    engine's (quantized) kernels, once through a throwaway fp64 oracle
+    engine over the same wrapped weights — and returns
+    ``|est_q - est_oracle| / max(est_oracle, 1)`` per query. The summary is
+    recorded on the compiled model (:meth:`CompiledResMADE.record_drift`)
+    so it surfaces through ``stats()`` and the serving ``/metrics`` page.
+    """
+    compiled = compiled_model(engine)
+    if compiled is None or compiled.quantization == "off":
+        raise EstimationError("drift measurement needs a quantized engine")
+    oracle = CompiledEngine(
+        compiled.reference, engine.layout, engine.full_join_size, mode="fp64"
+    )
+    queries = list(queries)
+    rngs = [np.random.default_rng(seed + i) for i in range(len(queries))]
+    est_q = engine.estimate_batch(queries, n_samples=n_samples, rngs=rngs)
+    rngs = [np.random.default_rng(seed + i) for i in range(len(queries))]
+    est_o = oracle.estimate_batch(queries, n_samples=n_samples, rngs=rngs)
+    rel = np.abs(est_q - est_o) / np.maximum(np.abs(est_o), 1.0)
+    compiled.record_drift(rel)
+    return rel
 
 
 def compiled_model(engine: ProgressiveSampler) -> Optional[CompiledResMADE]:

@@ -111,6 +111,11 @@ def save_model(estimator: NeuroCard, path: str | Path) -> Path:
                 if estimator.train_result is not None
                 else 0
             ),
+            # Serving modes travel with the artifact so a deployment can
+            # inspect them without loading weights. Compiled (and quantized)
+            # buffers themselves are derived state and are never persisted —
+            # kernels refold from the raw parameters on load.
+            "quantization": estimator.config.quantization,
         },
     }
     np.savez_compressed(path, __meta__=np.frombuffer(
@@ -180,8 +185,9 @@ def read_snapshot_metadata(path: str | Path) -> dict:
     """The artifact's ``snapshot`` metadata without loading any weights.
 
     Returns ``{"data_version": int, "n_rows": {table: int}, "tuples_seen":
-    int}`` (all-zero/empty for pre-v3 artifacts). The background refresher
-    uses this to decide whether a saved model is already fresh enough for a
+    int, "quantization": str}`` (all-zero/empty, quantization ``"off"``,
+    for artifacts predating each field). The background refresher uses
+    this to decide whether a saved model is already fresh enough for a
     live snapshot before paying a multi-second load.
     """
     with np.load(_npz_path(path)) as data:
@@ -191,4 +197,5 @@ def read_snapshot_metadata(path: str | Path) -> dict:
         "data_version": int(snapshot.get("data_version", 0)),
         "n_rows": {k: int(v) for k, v in snapshot.get("n_rows", {}).items()},
         "tuples_seen": int(snapshot.get("tuples_seen", 0)),
+        "quantization": str(snapshot.get("quantization", "off")),
     }

@@ -10,7 +10,9 @@ only — no framework dependency) exposing an
     :mod:`repro.relational.dsl`. Optional ``seed``/``seeds`` pin
     per-query generators (the wire answer is then bitwise-equal to the
     in-process scheduler's), ``n_samples`` overrides the progressive
-    sample count, and ``deadline_ms`` bounds the whole request —
+    sample count, ``max_rel_var`` opts the request into
+    variance-adaptive sampling (probe walk, escalate only past the
+    bound), and ``deadline_ms`` bounds the whole request —
     requests predicted to miss it are shed with 503 *before* consuming
     scheduler batch slots (see :mod:`repro.serving.admission`).
 
@@ -68,7 +70,7 @@ _REASONS = {
 }
 
 _ESTIMATE_KEYS = frozenset(
-    {"query", "queries", "seed", "seeds", "n_samples", "deadline_ms"}
+    {"query", "queries", "seed", "seeds", "n_samples", "max_rel_var", "deadline_ms"}
 )
 
 
@@ -348,7 +350,9 @@ class EstimationHttpServer:
             self._shed.inc(tenant=tenant, reason="draining")
             return finish(503, {"error": "server is draining"}, [("Retry-After", "1")])
         try:
-            queries, seeds, single, n_samples, deadline_s = self._parse_estimate(body)
+            (
+                queries, seeds, single, n_samples, max_rel_var, deadline_s
+            ) = self._parse_estimate(body)
         except _BadRequest as exc:
             return finish(400, {"error": str(exc)})
         if model not in self.service.registry:
@@ -369,7 +373,8 @@ class EstimationHttpServer:
             try:
                 futures = [
                     self.service.submit(
-                        query, model=model, seed=seed, n_samples=n_samples
+                        query, model=model, seed=seed, n_samples=n_samples,
+                        max_rel_var=max_rel_var,
                     )
                     for query, seed in zip(queries, seeds)
                 ]
@@ -440,6 +445,13 @@ class EstimationHttpServer:
         n_samples = doc.get("n_samples")
         if n_samples is not None and (not isinstance(n_samples, int) or n_samples < 1):
             raise _BadRequest("'n_samples' must be a positive integer")
+        max_rel_var = doc.get("max_rel_var")
+        if max_rel_var is not None:
+            if not isinstance(max_rel_var, (int, float)) or isinstance(
+                max_rel_var, bool
+            ) or max_rel_var < 0:
+                raise _BadRequest("'max_rel_var' must be a non-negative number")
+            max_rel_var = float(max_rel_var)
         deadline_ms = doc.get("deadline_ms", self.config.default_deadline_ms)
         if deadline_ms is not None:
             if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
@@ -449,7 +461,7 @@ class EstimationHttpServer:
         except QueryError as exc:
             raise _BadRequest(str(exc)) from exc
         deadline_s = deadline_ms / 1e3 if deadline_ms is not None else None
-        return queries, seeds, single, n_samples, deadline_s
+        return queries, seeds, single, n_samples, max_rel_var, deadline_s
 
     # ------------------------------------------------------------------
     # GET /healthz

@@ -149,6 +149,7 @@ class HttpEstimationClient:
         *,
         seed: Optional[int] = None,
         n_samples: Optional[int] = None,
+        max_rel_var: Optional[float] = None,
         deadline_ms: Optional[float] = None,
     ) -> float:
         """Blocking single-query estimate over the wire."""
@@ -157,6 +158,8 @@ class HttpEstimationClient:
             body["seed"] = seed
         if n_samples is not None:
             body["n_samples"] = n_samples
+        if max_rel_var is not None:
+            body["max_rel_var"] = max_rel_var
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
         doc = self._post_estimate(body)
@@ -168,6 +171,7 @@ class HttpEstimationClient:
         *,
         seeds: Optional[Sequence[Optional[int]]] = None,
         n_samples: Optional[int] = None,
+        max_rel_var: Optional[float] = None,
         deadline_ms: Optional[float] = None,
     ) -> np.ndarray:
         """Batch estimate over the wire; one request, order-preserving."""
@@ -178,6 +182,8 @@ class HttpEstimationClient:
             body["seeds"] = list(seeds)
         if n_samples is not None:
             body["n_samples"] = n_samples
+        if max_rel_var is not None:
+            body["max_rel_var"] = max_rel_var
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
         doc = self._post_estimate(body)

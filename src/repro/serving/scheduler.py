@@ -15,9 +15,10 @@ matter which requests it happened to share a batch with (the batched
 engine keeps one uniform-variate stream per query).
 
 Results are cached in an LRU keyed on the *canonicalized plan* —
-``(model version, table set + predicate regions, seed, n_samples)`` — so
-textually different but semantically identical predicates coalesce, and a
-registry hot-swap (version bump) invalidates every stale entry at once.
+``(model version, table set + predicate regions, seed, n_samples,
+max_rel_var)`` — so textually different but semantically identical
+predicates coalesce, and a registry hot-swap (version bump) invalidates
+every stale entry at once.
 
 Failure semantics mirror :class:`~repro.errors.SamplerError`'s fail-fast
 contract: if a batched inference call raises, every future in that batch
@@ -48,6 +49,7 @@ class _Request:
     query: Query
     seed: Optional[int]
     n_samples: Optional[int]
+    max_rel_var: Optional[float]
     future: Future
     cache_key: Optional[tuple]
     enqueued_at: float
@@ -64,8 +66,8 @@ class MicroBatchScheduler:
 
     ``executor`` (optional) offloads flushed micro-batches instead of
     executing them inline on the flusher thread: anything with
-    ``submit_batch(model, version, queries, rngs=..., n_samples=...) ->
-    Future`` works, in practice a
+    ``submit_batch(model, version, queries, rngs=..., n_samples=...,
+    max_rel_var=...) -> Future`` works, in practice a
     :class:`~repro.serving.workers.WorkerPool` that shards the batch
     across processes. Request coalescing, per-request seeds, the
     version-keyed result cache, and fail-fast error chaining behave
@@ -81,6 +83,7 @@ class MicroBatchScheduler:
         max_wait_us: int = 2000,
         cache_size: int = 1024,
         n_samples: Optional[int] = None,
+        max_rel_var: Optional[float] = None,
         name: str = "model",
         executor=None,
     ):
@@ -90,12 +93,15 @@ class MicroBatchScheduler:
             raise ServingError("max_wait_us must be >= 0")
         if cache_size < 0:
             raise ServingError("cache_size must be >= 0 (0 disables caching)")
+        if max_rel_var is not None and max_rel_var < 0:
+            raise ServingError("max_rel_var must be >= 0 (or None to disable)")
         self._source = source
         self._executor = executor
         self.max_batch = max_batch
         self.max_wait_s = max_wait_us / 1e6
         self.cache_size = cache_size
         self.n_samples = n_samples
+        self.max_rel_var = max_rel_var
         self.name = name
         self._queue: List[_Request] = []
         self._cache: "OrderedDict[tuple, float]" = OrderedDict()
@@ -123,16 +129,25 @@ class MicroBatchScheduler:
         *,
         seed: Optional[int] = None,
         n_samples: Optional[int] = None,
+        max_rel_var: Optional[float] = None,
     ) -> Future:
         """Enqueue one query; returns a Future resolving to its COUNT(*) estimate.
 
         Invalid queries (unknown tables/columns, disconnected join graphs)
         fail *here*, synchronously, so one bad request never poisons the
         batch it would have joined.
+
+        ``max_rel_var`` opts the request into variance-adaptive sampling
+        (probe walk first, escalate to the full ``n_samples`` only when the
+        relative standard error exceeds the bound); it is part of the result
+        cache key, so adaptive and fixed-samples results never alias.
         """
         model, version = self._source()
         n_samples = n_samples if n_samples is not None else self.n_samples
-        key = self._cache_key(model, version, query, seed, n_samples)
+        max_rel_var = max_rel_var if max_rel_var is not None else self.max_rel_var
+        if max_rel_var is not None and max_rel_var < 0:
+            raise ServingError("max_rel_var must be >= 0 (or None to disable)")
+        key = self._cache_key(model, version, query, seed, n_samples, max_rel_var)
         future: Future = Future()
         with self._work:
             if self._closed:
@@ -146,7 +161,10 @@ class MicroBatchScheduler:
                 future.set_result(self._cache[key])
                 return future
             self._queue.append(
-                _Request(query, seed, n_samples, future, key, time.perf_counter())
+                _Request(
+                    query, seed, n_samples, max_rel_var, future, key,
+                    time.perf_counter(),
+                )
             )
             self._work.notify()
         return future
@@ -167,7 +185,7 @@ class MicroBatchScheduler:
 
     def stats(self) -> Dict[str, float]:
         with self._lock:
-            return {
+            out = {
                 "requests": self.n_requests,
                 "batches": self.n_batches,
                 "cache_hits": self.n_cache_hits,
@@ -176,6 +194,43 @@ class MicroBatchScheduler:
                     self.n_flushed_requests / self.n_batches if self.n_batches else 0.0
                 ),
             }
+        out.update(self._engine_stats())
+        return out
+
+    def _engine_stats(self) -> Dict[str, float]:
+        """Inference-engine telemetry riding the scheduler's stats.
+
+        Surfaces the engine's variance-adaptive counters (``adaptive_*``)
+        and, for quantized compiled kernels, the recorded drift-vs-oracle
+        summary (``quantization_*``) — from here they reach ``/healthz``
+        and the ``repro_scheduler_stat`` gauges on ``/metrics``. Duck-typed
+        models without these surfaces contribute nothing.
+        """
+        try:
+            model, _version = self._source()
+        except BaseException:
+            return {}  # registry failure: submit() reports it, stats stay up
+        inference = getattr(model, "inference", None)
+        if inference is None and hasattr(model, "plan"):
+            inference = model
+        if inference is None:
+            return {}
+        out: Dict[str, float] = {}
+        adaptive = getattr(inference, "adaptive_stats", None)
+        if callable(adaptive):
+            out.update({k: float(v) for k, v in adaptive().items()})
+        compiled = getattr(inference, "model", None)
+        if hasattr(compiled, "quantization") and callable(
+            getattr(compiled, "stats", None)
+        ):
+            out.update(
+                {
+                    key: float(value)
+                    for key, value in compiled.stats().items()
+                    if key.startswith("quantization")
+                }
+            )
+        return out
 
     def close(self) -> None:
         """Drain pending requests, stop the flusher. Idempotent."""
@@ -254,16 +309,25 @@ class MicroBatchScheduler:
         except BaseException as exc:  # registry failure: fail the whole batch
             self._fail(batch, exc)
             return
-        # One estimate_batch per distinct n_samples (the packed token matrix
-        # is rectangular); in steady state every request uses the default.
-        groups: Dict[Optional[int], List[_Request]] = {}
+        # One estimate_batch per distinct (n_samples, max_rel_var) pair (the
+        # packed token matrix is rectangular, and the adaptive probe/escalate
+        # split applies per call); in steady state every request uses the
+        # defaults and the whole batch is one group.
+        groups: Dict[Tuple[Optional[int], Optional[float]], List[_Request]] = {}
         for request in batch:
-            groups.setdefault(request.n_samples, []).append(request)
-        for n_samples, requests in groups.items():
-            self._flush_group(model, version, n_samples, requests)
+            groups.setdefault((request.n_samples, request.max_rel_var), []).append(
+                request
+            )
+        for (n_samples, max_rel_var), requests in groups.items():
+            self._flush_group(model, version, n_samples, max_rel_var, requests)
 
     def _flush_group(
-        self, model, version: int, n_samples: Optional[int], requests: List[_Request]
+        self,
+        model,
+        version: int,
+        n_samples: Optional[int],
+        max_rel_var: Optional[float],
+        requests: List[_Request],
     ) -> None:
         rngs = [
             np.random.default_rng(r.seed) if r.seed is not None
@@ -282,6 +346,7 @@ class MicroBatchScheduler:
                     [r.query for r in requests],
                     rngs=rngs,
                     n_samples=n_samples,
+                    max_rel_var=max_rel_var,
                 )
             except BaseException as exc:
                 self._fail(requests, exc)
@@ -295,6 +360,8 @@ class MicroBatchScheduler:
         kwargs = {"rngs": rngs}
         if n_samples is not None:
             kwargs["n_samples"] = n_samples
+        if max_rel_var is not None:
+            kwargs["max_rel_var"] = max_rel_var
         try:
             estimates = model.estimate_batch([r.query for r in requests], **kwargs)
         except BaseException as exc:
@@ -356,6 +423,7 @@ class MicroBatchScheduler:
         query: Query,
         seed: Optional[int],
         n_samples: Optional[int],
+        max_rel_var: Optional[float],
     ) -> Optional[tuple]:
         """Canonical result-cache key, or None when the query can't be keyed.
 
@@ -381,4 +449,4 @@ class MicroBatchScheduler:
                 hash(plan_key)
             except TypeError:
                 return None
-        return (version, plan_key, seed, n_samples)
+        return (version, plan_key, seed, n_samples, max_rel_var)

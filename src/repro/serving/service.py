@@ -216,8 +216,11 @@ class EstimationService:
         model: Optional[str] = None,
         seed: Optional[int] = None,
         n_samples: Optional[int] = None,
+        max_rel_var: Optional[float] = None,
     ) -> Future:
-        return self.scheduler(model).submit(query, seed=seed, n_samples=n_samples)
+        return self.scheduler(model).submit(
+            query, seed=seed, n_samples=n_samples, max_rel_var=max_rel_var
+        )
 
     def estimate(
         self, query: Query, *, model: Optional[str] = None, seed: Optional[int] = None

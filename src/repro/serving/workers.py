@@ -215,7 +215,7 @@ def _worker_main(slot: int, conn) -> None:
                     continue
                 conn.send(("ready", slot, state.version))
             elif kind == "batch":
-                _, chunk_id, version, queries, rngs, n_samples = msg
+                _, chunk_id, version, queries, rngs, n_samples, max_rel_var = msg
                 try:
                     if state.est is None:
                         raise ServingError("worker has no model installed")
@@ -227,6 +227,8 @@ def _worker_main(slot: int, conn) -> None:
                     kwargs = {"rngs": rngs}
                     if n_samples is not None:
                         kwargs["n_samples"] = n_samples
+                    if max_rel_var is not None:
+                        kwargs["max_rel_var"] = max_rel_var
                     values = state.est.estimate_batch(queries, **kwargs)
                     conn.send(("result", slot, chunk_id, [float(v) for v in values]))
                 except BaseException as exc:
@@ -571,8 +573,13 @@ class WorkerPool:
         *,
         rngs: Sequence[np.random.Generator],
         n_samples: Optional[int] = None,
+        max_rel_var: Optional[float] = None,
     ) -> Future:
         """Shard one micro-batch across the pool; future -> ordered array.
+
+        ``max_rel_var`` rides each shard's pipe message: sharding cannot
+        change any query's result because the adaptive probe draws from a
+        child stream spawned off that query's own generator.
 
         Publishes ``version`` first when it is ahead of the pool (the
         in-band model message precedes the shards on every worker pipe, so
@@ -610,7 +617,7 @@ class WorkerPool:
                     try:
                         handle.send(
                             ("batch", chunk_id, version,
-                             queries[lo:hi], rngs[lo:hi], n_samples)
+                             queries[lo:hi], rngs[lo:hi], n_samples, max_rel_var)
                         )
                     except Exception as exc:
                         with self._lock:
@@ -625,6 +632,8 @@ class WorkerPool:
             kwargs = {"rngs": rngs}
             if n_samples is not None:
                 kwargs["n_samples"] = n_samples
+            if max_rel_var is not None:
+                kwargs["max_rel_var"] = max_rel_var
             try:
                 pending.future.set_result(
                     np.asarray(model.estimate_batch(queries, **kwargs), dtype=np.float64)
@@ -693,9 +702,14 @@ class WorkerPool:
             return self._published_model, self._published_version
 
     def estimate(self, query: Query, *, seed: Optional[int] = None,
-                 n_samples: Optional[int] = None) -> float:
+                 n_samples: Optional[int] = None,
+                 max_rel_var: Optional[float] = None) -> float:
         """Blocking single-query estimate on the pool (client protocol)."""
-        return float(self.submit(query, seed=seed, n_samples=n_samples).result())
+        return float(
+            self.submit(
+                query, seed=seed, n_samples=n_samples, max_rel_var=max_rel_var
+            ).result()
+        )
 
     def estimate_batch(
         self,
@@ -703,6 +717,7 @@ class WorkerPool:
         *,
         n_samples: Optional[int] = None,
         rngs: Optional[Sequence[np.random.Generator]] = None,
+        max_rel_var: Optional[float] = None,
     ) -> np.ndarray:
         """Sharded batch estimate; same contract as the inline engines."""
         queries = list(queries)
@@ -712,12 +727,14 @@ class WorkerPool:
                 rngs = list(self._rng.spawn(len(queries)))
         return np.asarray(
             self.submit_batch(
-                model, version, queries, rngs=list(rngs), n_samples=n_samples
+                model, version, queries, rngs=list(rngs), n_samples=n_samples,
+                max_rel_var=max_rel_var,
             ).result()
         )
 
     def submit(self, query: Query, *, seed: Optional[int] = None,
-               n_samples: Optional[int] = None) -> Future:
+               n_samples: Optional[int] = None,
+               max_rel_var: Optional[float] = None) -> Future:
         """One query as a Future (scheduler-compatible client surface)."""
         model, version = self._client_source()
         if seed is not None:
@@ -726,7 +743,8 @@ class WorkerPool:
             with self._lock:
                 rng = self._rng.spawn(1)[0]
         inner = self.submit_batch(
-            model, version, [query], rngs=[rng], n_samples=n_samples
+            model, version, [query], rngs=[rng], n_samples=n_samples,
+            max_rel_var=max_rel_var,
         )
         out: Future = Future()
 

@@ -1,0 +1,64 @@
+"""The CI docs gate's link checker: broken targets caught, valid ones pass."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+TOOL = os.path.join(os.path.dirname(__file__), "..", "..", "tools", "check_links.py")
+
+
+def run_checker(cwd, *paths):
+    return subprocess.run(
+        [sys.executable, os.path.abspath(TOOL), *paths],
+        cwd=cwd, capture_output=True, text=True,
+    )
+
+
+@pytest.fixture()
+def docs_tree(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "guide.md").write_text(
+        "# Guide\n\n## Deep Dive\n\nBack to [readme](../README.md#intro).\n"
+    )
+    (tmp_path / "README.md").write_text(
+        "# Intro\n\nSee the [guide](docs/guide.md#deep-dive) and "
+        "[site](https://example.com/x) and [self](#intro).\n"
+    )
+    return tmp_path
+
+
+def test_valid_tree_passes(docs_tree):
+    result = run_checker(docs_tree, "README.md", "docs")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "link check passed" in result.stdout
+
+
+def test_missing_file_and_bad_anchor_fail(docs_tree):
+    (docs_tree / "docs" / "guide.md").write_text(
+        "# Guide\n\nSee [gone](missing.md) and [bad](../README.md#nope).\n"
+    )
+    result = run_checker(docs_tree, "README.md", "docs")
+    assert result.returncode != 0
+    assert "missing.md" in result.stdout
+    assert "#nope" in result.stdout
+    # The failing line is clickable: file:line: target.
+    assert "guide.md:3" in result.stdout
+
+
+def test_links_inside_code_fences_are_ignored(docs_tree):
+    (docs_tree / "docs" / "guide.md").write_text(
+        "# Guide\n\n## Deep Dive\n\n```\n[not a link](nowhere.md)\n```\n"
+    )
+    result = run_checker(docs_tree, "README.md", "docs")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_escaping_the_checkout_is_skipped(docs_tree):
+    # GitHub-side URLs (the CI badge) resolve only on github.com.
+    (docs_tree / "README.md").write_text(
+        "# Intro\n\n[badge](../../actions/workflows/ci.yml/badge.svg)\n"
+    )
+    result = run_checker(docs_tree, "README.md", "docs")
+    assert result.returncode == 0, result.stdout + result.stderr

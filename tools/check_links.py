@@ -1,0 +1,140 @@
+"""Broken-link checker for the repo's Markdown docs (stdlib only, CI gate).
+
+Scans Markdown files for inline links and images (``[text](target)`` /
+``![alt](target)``) and validates every **relative** target:
+
+* file targets must exist on disk, resolved from the linking file's
+  directory (an optional ``#fragment`` is split off first);
+* same-file anchors (``#section``) and fragments on ``.md`` targets must
+  match a heading in the target file, using GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to hyphens);
+* absolute URLs (``http://``, ``https://``, ``mailto:``) are skipped —
+  CI must not depend on network reachability — as are relative targets
+  that climb out of the checkout (GitHub-side URLs like the CI badge's
+  ``../../actions/...`` path, which only resolve on github.com).
+
+Exit status is non-zero when any link is broken, with one line per
+offender (``file:line: target — reason``), so the CI docs job fails
+loudly and the offending link is clickable in the log.
+
+Run:  python tools/check_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+#: Inline links/images. The target group stops at whitespace or ')' which
+#: covers every link in this repo; optional '"title"' suffixes are dropped.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, hyphenate spaces."""
+    text = re.sub(r"[`*_]|\[|\]|\(.*?\)", "", heading)
+    text = re.sub(r"[^\w\- ]", "", text.strip().lower())
+    return re.sub(r" +", "-", text)
+
+
+def headings(path: str) -> List[str]:
+    slugs: List[str] = []
+    with open(path, encoding="utf-8") as f:
+        in_code = False
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                slugs.append(slugify(match.group(1)))
+    return slugs
+
+
+def iter_links(path: str) -> Iterator[Tuple[int, str]]:
+    with open(path, encoding="utf-8") as f:
+        in_code = False
+        for lineno, line in enumerate(f, start=1):
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield lineno, match.group(1)
+
+
+def check_file(path: str) -> List[str]:
+    errors: List[str] = []
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, target in iter_links(path):
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        name, _, fragment = target.partition("#")
+        if not name:  # same-file anchor
+            if fragment and slugify(fragment) not in headings(path):
+                errors.append(f"{path}:{lineno}: #{fragment} — no such heading")
+            continue
+        resolved = os.path.normpath(os.path.join(base, name))
+        if not resolved.startswith(os.getcwd() + os.sep):
+            # Climbs out of the checkout — a GitHub-side URL like the CI
+            # badge's ../../actions/... path; nothing to verify on disk.
+            continue
+        if not os.path.exists(resolved):
+            errors.append(f"{path}:{lineno}: {target} — file does not exist")
+            continue
+        if fragment and resolved.endswith(".md"):
+            if slugify(fragment) not in headings(resolved):
+                errors.append(
+                    f"{path}:{lineno}: {target} — no heading "
+                    f"#{fragment} in {os.path.relpath(resolved)}"
+                )
+    return errors
+
+
+def collect(paths: List[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _, names in os.walk(path):
+                files.extend(
+                    os.path.join(root, n) for n in sorted(names)
+                    if n.endswith(".md")
+                )
+        elif path.endswith(".md"):
+            files.append(path)
+        else:
+            sys.exit(f"not a Markdown file or directory: {path}")
+    return files
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths", nargs="*", default=["README.md", "docs"],
+        help="Markdown files and/or directories to scan (default: README.md docs)",
+    )
+    args = parser.parse_args()
+    files = collect(args.paths or ["README.md", "docs"])
+    if not files:
+        sys.exit("no Markdown files found — wrong invocation directory?")
+    errors: List[str] = []
+    n_links = 0
+    for path in files:
+        n_links += sum(1 for _ in iter_links(path))
+        errors.extend(check_file(path))
+    if errors:
+        print("\n".join(errors))
+        sys.exit(f"{len(errors)} broken link(s) across {len(files)} file(s)")
+    print(f"link check passed: {n_links} links across {len(files)} files")
+
+
+if __name__ == "__main__":
+    main()
