@@ -129,8 +129,10 @@ def run_wire(server, requests, n_clients: int, tenant: str = "bench"):
     lock = threading.Lock()
 
     def client(cid: int) -> None:
+        # max_retries=0: the /metrics reconciliation demands exactly one
+        # wire request per workload entry, so retried 429s would break it.
         http = HttpEstimationClient(
-            server.host, server.port, "oracle", tenant=tenant
+            server.host, server.port, "oracle", tenant=tenant, max_retries=0
         )
         local_lat, ok, shed, error = [], 0, 0, 0
         for i in range(cid, len(requests), n_clients):

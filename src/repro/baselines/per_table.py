@@ -79,3 +79,71 @@ class PerTableAREstimator:
             table_card = self.models[tname].estimate(single)
             card *= max(table_card, 0.0) / max(self.schema.table(tname).n_rows, 1)
         return card
+
+
+class PerTableStatsEstimator:
+    """Training-free degraded-mode fallback: exact per-table selectivities.
+
+    The same structural assumption as :class:`PerTableAREstimator` (exact
+    join sizes, inter-table independence between filters), but each
+    table's conjunction selectivity is computed *exactly* by evaluating
+    the predicate masks against the base table — no learned model at all,
+    so it can be built in milliseconds and can never be stale, crashed,
+    or corrupted. The serving layer's circuit breaker routes to it when a
+    model cannot answer (see :mod:`repro.serving.resilience`); its only
+    error source is the independence assumption across tables, so
+    single-table queries are exact and multi-table q-error is bounded by
+    the filters' cross-table correlation (documented in
+    ``docs/resilience.md``).
+    """
+
+    name = "PerTableStats"
+    is_fitted = True
+
+    def __init__(self, schema: JoinSchema, counts: Optional[JoinCounts] = None):
+        self.schema = schema
+        self.counts = counts if counts is not None else JoinCounts(schema)
+        self._size_cache: Dict[Tuple[str, ...], float] = {}
+        self._sel_cache: Dict[tuple, float] = {}
+
+    @property
+    def size_bytes(self) -> int:
+        return 0  # references the live schema; no owned state
+
+    def _graph_size(self, tables: Tuple[str, ...]) -> float:
+        if tables not in self._size_cache:
+            self._size_cache[tables] = inner_join_count(
+                self.schema, list(tables), counts=self.counts
+            )
+        return self._size_cache[tables]
+
+    def _selectivity(self, tname: str, preds) -> float:
+        key = None
+        try:
+            key = (tname, tuple(preds))
+            hash(key)
+        except TypeError:  # unhashable predicate values: compute uncached
+            key = None
+        if key is not None and key in self._sel_cache:
+            return self._sel_cache[key]
+        table = self.schema.table(tname)
+        if table.n_rows == 0:
+            return 0.0
+        mask = np.ones(table.n_rows, dtype=bool)
+        for pred in preds:
+            mask &= pred.mask(table)
+        selectivity = float(mask.mean())
+        if key is not None:
+            self._sel_cache[key] = selectivity
+        return selectivity
+
+    def estimate(self, query: Query, **_ignored) -> float:
+        """COUNT(*) = exact join size x Π_t exact filter selectivity of t."""
+        query.validate(self.schema)
+        card = self._graph_size(tuple(sorted(query.tables)))
+        for tname, preds in query.predicates_by_table().items():
+            card *= self._selectivity(tname, preds)
+        return card
+
+    def estimate_batch(self, queries, **_ignored) -> np.ndarray:
+        return np.array([self.estimate(q) for q in queries], dtype=np.float64)

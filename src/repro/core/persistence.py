@@ -17,6 +17,10 @@ of a deep shape error inside weight copying.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import zipfile
+import zlib
 from dataclasses import asdict
 from pathlib import Path
 
@@ -33,8 +37,12 @@ from repro.relational.schema import JoinSchema
 #: counts + training telemetry) so serving layers can judge an artifact's
 #: freshness against a live snapshot without loading any weights; v1/v2
 #: artifacts still load, with data_version defaulting to 0.
-_FORMAT_VERSION = 3
-_SUPPORTED_VERSIONS = (1, 2, 3)
+#: v4 adds a CRC32 ``checksum`` over the parameter arrays (verified on
+#: load, so a torn or bit-flipped artifact raises PersistenceError instead
+#: of loading garbage) and is written via temp-file + fsync + atomic
+#: rename; earlier versions still load, without checksum verification.
+_FORMAT_VERSION = 4
+_SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 
 def _schema_columns(schema: JoinSchema) -> dict:
@@ -83,8 +91,57 @@ def _parse_meta(data) -> dict:
     return meta
 
 
+def _params_crc(ordered_arrays) -> int:
+    """CRC32 over the parameter arrays' dtype/shape headers + raw bytes.
+
+    The zip container already checksums its compressed members, which
+    catches raw bit flips in the file; this content-level CRC additionally
+    catches a *valid* archive whose arrays no longer match the metadata
+    (rewritten member, stale meta after partial repair) — the torn-write
+    shapes an atomic rename alone cannot rule out.
+    """
+    crc = 0
+    for key, array in ordered_arrays:
+        array = np.ascontiguousarray(array)
+        header = f"{key}:{array.dtype.str}:{array.shape}".encode("utf-8")
+        crc = zlib.crc32(header, crc)
+        crc = zlib.crc32(array.tobytes(), crc)
+    return crc
+
+
+def _ordered_param_keys(files) -> list:
+    return sorted(
+        (k for k in files if k.startswith("param::")),
+        key=lambda k: int(k.split("::")[1]),
+    )
+
+
+def _open_artifact(path: Path):
+    """``np.load`` with corrupt containers mapped to :class:`PersistenceError`.
+
+    Missing files keep raising ``FileNotFoundError`` (absent and corrupt
+    are different operator problems); truncated or otherwise unreadable
+    archives raise a typed error naming the artifact.
+    """
+    try:
+        return np.load(path)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, ValueError, EOFError, KeyError, OSError) as exc:
+        raise PersistenceError(
+            f"artifact {path} is corrupt or unreadable: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
 def save_model(estimator: NeuroCard, path: str | Path) -> Path:
-    """Serialize a fitted estimator's weights + config to ``path`` (.npz)."""
+    """Serialize a fitted estimator's weights + config to ``path`` (.npz).
+
+    Crash-safe: the archive is written to a same-directory temp file,
+    fsynced, then atomically renamed over ``path`` — a crash mid-save
+    leaves either the previous artifact or none, never a torn one. The
+    parameter arrays' CRC32 travels in ``__meta__`` and is verified by
+    :func:`load_model`.
+    """
     if not estimator.is_fitted:
         raise EstimationError("cannot save an unfitted estimator")
     path = Path(path)
@@ -117,11 +174,33 @@ def save_model(estimator: NeuroCard, path: str | Path) -> Path:
             # kernels refold from the raw parameters on load.
             "quantization": estimator.config.quantization,
         },
+        "checksum": {
+            "algorithm": "crc32",
+            "params": _params_crc(sorted(arrays.items())),
+        },
     }
-    np.savez_compressed(path, __meta__=np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8
-    ), **arrays)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    final = _npz_path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=final.parent or Path("."), prefix=f".{final.name}.", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, __meta__=np.frombuffer(
+                json.dumps(meta).encode("utf-8"), dtype=np.uint8
+            ), **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        from repro.serving import faults  # chaos seam; no-op unless installed
+
+        injector = faults.get_active()
+        if injector is not None:
+            injector.check("persistence.save")
+        os.replace(tmp, final)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return final
 
 
 def load_model(path: str | Path, schema: JoinSchema) -> NeuroCard:
@@ -131,9 +210,16 @@ def load_model(path: str | Path, schema: JoinSchema) -> NeuroCard:
     dictionaries) the estimator was trained on; join counts, the sampler and
     the inference layout are rebuilt from it. Incompatible schemas and
     configs are rejected with a :class:`PersistenceError` before any model
-    is built or weights are read.
+    is built or weights are read; truncated/corrupt archives and artifacts
+    whose parameter CRC32 no longer matches ``__meta__`` (torn or
+    bit-flipped writes) also raise :class:`PersistenceError`.
     """
-    with np.load(_npz_path(path)) as data:
+    from repro.serving import faults  # chaos seam; no-op unless installed
+
+    injector = faults.get_active()
+    if injector is not None:
+        injector.check("persistence.load")
+    with _open_artifact(_npz_path(path)) as data:
         meta = _parse_meta(data)
         if sorted(schema.tables) != meta["tables"]:
             raise PersistenceError(
@@ -159,14 +245,26 @@ def load_model(path: str | Path, schema: JoinSchema) -> NeuroCard:
                 "(column domains differ)"
             )
         params = estimator.model.parameters()
-        keys = sorted(
-            (k for k in data.files if k.startswith("param::")),
-            key=lambda k: int(k.split("::")[1]),
-        )
+        keys = _ordered_param_keys(data.files)
         if len(keys) != len(params):
             raise PersistenceError("saved parameter count mismatch")
-        for key, param in zip(keys, params):
-            saved = data[key]
+        try:
+            saved_arrays = [(key, data[key]) for key in keys]
+        except (zipfile.BadZipFile, zlib.error, ValueError, OSError) as exc:
+            raise PersistenceError(
+                f"artifact {path} has corrupt parameter data: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        checksum = meta.get("checksum")
+        if checksum is not None and checksum.get("algorithm") == "crc32":
+            actual = _params_crc(sorted(saved_arrays))
+            if actual != int(checksum["params"]):
+                raise PersistenceError(
+                    f"artifact {path} failed its checksum (stored crc32 "
+                    f"{int(checksum['params'])}, computed {actual}); the "
+                    "write was torn or the file was corrupted"
+                )
+        for (key, saved), param in zip(saved_arrays, params):
             if saved.shape != param.value.shape:
                 raise PersistenceError(f"shape mismatch for {param.name}")
             param.value[...] = saved
@@ -190,7 +288,7 @@ def read_snapshot_metadata(path: str | Path) -> dict:
     this to decide whether a saved model is already fresh enough for a
     live snapshot before paying a multi-second load.
     """
-    with np.load(_npz_path(path)) as data:
+    with _open_artifact(_npz_path(path)) as data:
         meta = _parse_meta(data)
     snapshot = meta.get("snapshot", {})
     return {

@@ -39,6 +39,24 @@ class ServingError(ReproError):
     """The serving layer failed (scheduler closed, unknown model, registry misuse)."""
 
 
+class DeadlineError(ServingError):
+    """A request's deadline expired before its work was dispatched/completed.
+
+    Deliberate cancellation, not a serving failure: the circuit breaker
+    ignores it and the HTTP layer maps it to 504 without falling back.
+    """
+
+
+class InjectedFaultError(ServingError):
+    """A deterministic fault fired at a named injection site (chaos testing).
+
+    Raised only when a :class:`repro.serving.faults.FaultPlan` is installed;
+    production serving never constructs one. Subclasses
+    :class:`ServingError` so every fail-fast path treats it exactly like a
+    real infrastructure failure.
+    """
+
+
 class DataError(ReproError):
     """Base-table data is malformed (length mismatch, bad dtype, bad NULLs)."""
 

@@ -26,7 +26,13 @@ batched inference fast path:
   per-tenant admission control (:class:`~repro.serving.admission.AdmissionController`,
   :class:`TenantQuota`, :class:`HttpConfig`) and Prometheus ``/metrics``;
 * :class:`HttpEstimationClient` — the wire client, protocol-compatible
-  with every in-process client above.
+  with every in-process client above;
+* :mod:`repro.serving.faults` — deterministic fault injection
+  (:class:`FaultPlan`, :class:`FaultInjector`) at named seams across the
+  stack, and :mod:`repro.serving.resilience` — the per-model
+  :class:`CircuitBreaker` behind
+  :meth:`EstimationService.register_fallback`'s degraded-mode cascade
+  (see ``docs/resilience.md``).
 
 Everything that answers queries — a bare estimator, a scheduler, a
 service, a worker pool — satisfies the :class:`EstimationClient`
@@ -38,10 +44,12 @@ from typing import Protocol, Sequence, runtime_checkable
 
 from repro.serving.admission import AdmissionController, TenantQuota
 from repro.serving.config import HttpConfig, ServingConfig
+from repro.serving.faults import FaultInjector, FaultPlan, FaultSpec, injected
 from repro.serving.http import EstimationHttpServer, HttpServerThread, serve
 from repro.serving.http_client import HttpEstimationClient
 from repro.serving.metrics import MetricsRegistry
 from repro.serving.registry import ModelRegistry
+from repro.serving.resilience import CircuitBreaker
 from repro.serving.scheduler import MicroBatchScheduler
 from repro.serving.service import EstimationService
 from repro.serving.updates import (
@@ -98,4 +106,9 @@ __all__ = [
     "HttpEstimationClient",
     "MetricsRegistry",
     "serve",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "injected",
+    "CircuitBreaker",
 ]

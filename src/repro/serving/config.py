@@ -174,6 +174,15 @@ class ServingConfig:
     #: blocks (backpressure that re-enables request coalescing).
     max_inflight: int = 2
 
+    # -- resilience (PR 9) --------------------------------------------
+    #: Consecutive primary failures before a model's circuit breaker
+    #: opens and (when a fallback estimator is registered) traffic is
+    #: served degraded; see :mod:`repro.serving.resilience`.
+    breaker_failures: int = 5
+    #: Seconds an open breaker waits before letting a half-open probe
+    #: through to the primary.
+    breaker_cooldown_s: float = 1.0
+
     # -- streaming refresh (RefreshPolicy twin) -----------------------
     drift_threshold: float = 0.05
     ingest_threshold: float = 0.10
@@ -219,6 +228,10 @@ class ServingConfig:
             raise ServingError("min_shard must be >= 1")
         if self.max_inflight < 1:
             raise ServingError("max_inflight must be >= 1")
+        if self.breaker_failures < 1:
+            raise ServingError("breaker_failures must be >= 1")
+        if self.breaker_cooldown_s < 0:
+            raise ServingError("breaker_cooldown_s must be >= 0")
         for field in ("drift_threshold", "ingest_threshold", "retrain_drift_threshold"):
             value = getattr(self, field)
             if not 0.0 <= value <= 1.0:

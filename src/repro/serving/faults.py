@@ -1,0 +1,313 @@
+"""Deterministic fault injection for the serving stack (chaos harness).
+
+The PR 3-8 stack promises a lot under failure — dead workers respawn and
+fail their shards fast, failed refreshes park and the old model keeps
+serving, flusher death chains a typed error into every stranded future.
+Nothing *proved* those contracts compose under concurrent faults. This
+module injects failures at named seams, deterministically, so chaos tests
+and ``bench_chaos_resilience.py`` can replay the exact same fault storm
+from one seed.
+
+Design:
+
+* a :class:`FaultPlan` is a picklable value object: one seed plus a
+  tuple of :class:`FaultSpec` (site name, probability or explicit hit
+  schedule, fire cap, kind);
+* a :class:`FaultInjector` executes a plan. Each site gets its own
+  counter and its own ``np.random.default_rng`` stream derived from
+  ``(seed, site, scope)``, so whether the k-th hit of a site fires is a
+  pure function of the plan — independent of how hits at *other* sites
+  interleave across threads;
+* production code never imports a plan. Seams guard with
+  ``inj = faults.get_active()`` / ``if inj is not None`` — a plain module
+  global read when no plan is installed, so the default hot path pays one
+  attribute load and a ``None`` check, nothing else;
+* worker processes inherit the parent's plan: :class:`WorkerPool` ships
+  the plan inside each model payload and ``_worker_main`` installs it
+  with a per-slot scope, so a plan's worker-site streams are deterministic
+  per worker slot across respawns.
+
+Sites threaded through the stack (see ``docs/resilience.md``):
+
+==========================  ================================================
+site                        seam
+==========================  ================================================
+``scheduler.flush``         inside the flusher's per-group try (fails the
+                            batch futures, not the flusher thread)
+``worker.dispatch``         parent side, before shards are assigned
+``worker.attach``           worker side, before a model payload installs
+``worker.batch``            worker side, before a batch executes
+``worker.crash``            worker side; ``kind="crash"`` kills the process
+``registry.load``           before a lazy artifact load
+``registry.swap``           at the top of ``ModelRegistry.swap``
+``refresher.train``         inside ``BackgroundRefresher._apply``'s try
+``persistence.save``        after the temp file is written, before the
+                            atomic replace (proves torn saves leave the
+                            previous artifact intact)
+``persistence.load``        at the top of ``load_model``
+``http.connection``         per request; ``kind="disconnect"`` makes the
+                            server abort the connection mid-request
+==========================  ================================================
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InjectedFaultError, ServingError
+
+#: Spec kinds: "error" raises InjectedFaultError at the seam, "crash"
+#: kills the current process (worker sites only; SIGKILL where available),
+#: "disconnect" returns the fired spec for the seam to interpret (the HTTP
+#: server aborts the connection).
+_KINDS = ("error", "crash", "disconnect")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One site's failure behavior inside a :class:`FaultPlan`.
+
+    Exactly one of ``probability`` / ``at`` selects hits: ``probability``
+    draws the site's k-th hit from its seeded uniform stream; ``at`` fires
+    on the exact (0-based) hit indices listed. ``after`` skips the first N
+    hits entirely (warmup), and ``max_fires`` caps total fires.
+    """
+
+    site: str
+    probability: Optional[float] = None
+    at: Tuple[int, ...] = ()
+    max_fires: Optional[int] = None
+    after: int = 0
+    kind: str = "error"
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "at", tuple(self.at))
+        if not self.site:
+            raise ServingError("FaultSpec.site must be non-empty")
+        if (self.probability is None) == (not self.at):
+            raise ServingError(
+                f"FaultSpec({self.site!r}) needs exactly one of probability= or at="
+            )
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ServingError(
+                f"FaultSpec({self.site!r}) probability must be within [0, 1]"
+            )
+        if any(i < 0 for i in self.at):
+            raise ServingError(f"FaultSpec({self.site!r}) at= indices must be >= 0")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ServingError(f"FaultSpec({self.site!r}) max_fires must be >= 1")
+        if self.after < 0:
+            raise ServingError(f"FaultSpec({self.site!r}) after must be >= 0")
+        if self.kind not in _KINDS:
+            raise ServingError(
+                f"FaultSpec({self.site!r}) kind must be one of {_KINDS}, "
+                f"got {self.kind!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seed + specs: everything needed to replay a fault storm exactly.
+
+    Picklable by construction (tuples of frozen dataclasses), so the
+    worker pool can ship it to spawned processes inside model payloads.
+    """
+
+    seed: int = 0
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        seen = set()
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise ServingError(
+                    f"FaultPlan specs must be FaultSpec, got {type(spec).__name__}"
+                )
+            if spec.site in seen:
+                raise ServingError(f"duplicate FaultSpec for site {spec.site!r}")
+            seen.add(spec.site)
+
+    def spec(self, site: str) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.site == site:
+                return spec
+        return None
+
+    def schedule(self, site: str, n: int, scope: str = "") -> List[int]:
+        """The hit indices (0-based) at which ``site`` fires among its first
+        ``n`` hits — a pure function of (plan, site, scope), used to assert
+        that one seed reproduces the identical fault schedule twice."""
+        return FaultInjector(self, scope=scope).preview(site, n)
+
+
+def _site_stream(seed: int, site: str, scope: str) -> np.random.Generator:
+    """One uniform stream per (plan seed, site, scope) — interleaving-proof."""
+    return np.random.default_rng(
+        [seed, zlib.crc32(site.encode("utf-8")), zlib.crc32(scope.encode("utf-8"))]
+    )
+
+
+@dataclass
+class _SiteState:
+    spec: FaultSpec
+    rng: np.random.Generator
+    hits: int = 0
+    fires: int = 0
+    uniforms: List[float] = field(default_factory=list)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan`; thread-safe; one per process.
+
+    ``scope`` namespaces the per-site random streams (the parent process
+    uses ``""``, worker slot ``i`` uses ``"worker-{i}"``), so the same plan
+    yields independent — but individually deterministic — schedules per
+    process.
+    """
+
+    def __init__(self, plan: FaultPlan, *, scope: str = ""):
+        self.plan = plan
+        self.scope = scope
+        self._lock = threading.Lock()
+        self._sites: Dict[str, _SiteState] = {
+            spec.site: _SiteState(spec, _site_stream(plan.seed, spec.site, scope))
+            for spec in plan.specs
+        }
+        #: (site, hit_index) per fire, in fire order (telemetry only; the
+        #: deterministic schedule contract is per-site, via preview()).
+        self.log: List[Tuple[str, int]] = []
+
+    # ------------------------------------------------------------------
+    def check(self, site: str) -> Optional[FaultSpec]:
+        """Count one hit at ``site``; fire its spec if due.
+
+        Returns None when the site is not in the plan or did not fire.
+        ``kind="error"`` raises :class:`InjectedFaultError`; ``"crash"``
+        kills the process; ``"disconnect"`` returns the spec for the seam
+        to interpret.
+        """
+        state = self._sites.get(site)
+        if state is None:
+            return None
+        with self._lock:
+            k = state.hits
+            state.hits += 1
+            fired = self._decide(state, k)
+            if fired:
+                state.fires += 1
+                self.log.append((site, k))
+        if not fired:
+            return None
+        spec = state.spec
+        if spec.kind == "crash":
+            self._crash()
+        if spec.kind == "error":
+            raise InjectedFaultError(
+                spec.message
+                or f"injected fault at {site!r} (hit {k}, seed {self.plan.seed})"
+            )
+        return spec
+
+    def _decide(self, state: _SiteState, k: int) -> bool:
+        spec = state.spec
+        # Draw the k-th uniform even for scheduled/warmup hits so the
+        # stream position stays a pure function of the hit index.
+        while len(state.uniforms) <= k:
+            state.uniforms.append(float(state.rng.random()))
+        if k < spec.after:
+            return False
+        if spec.max_fires is not None and state.fires >= spec.max_fires:
+            return False
+        if spec.at:
+            return k in spec.at
+        return state.uniforms[k] < spec.probability
+
+    @staticmethod
+    def _crash() -> None:  # pragma: no cover - the worker dies here
+        try:
+            os.kill(os.getpid(), signal.SIGKILL)
+        except (AttributeError, OSError):
+            os._exit(137)
+
+    # ------------------------------------------------------------------
+    def preview(self, site: str, n: int) -> List[int]:
+        """Fire indices among the first ``n`` hits of ``site``, without
+        counting hits or firing — a fresh replay of the site's stream."""
+        spec = self.plan.spec(site)
+        if spec is None:
+            return []
+        rng = _site_stream(self.plan.seed, site, self.scope)
+        uniforms = rng.random(n) if n else np.zeros(0)
+        out: List[int] = []
+        for k in range(n):
+            if k < spec.after:
+                continue
+            if spec.max_fires is not None and len(out) >= spec.max_fires:
+                break
+            if spec.at:
+                if k in spec.at:
+                    out.append(k)
+            elif uniforms[k] < spec.probability:
+                out.append(k)
+        return out
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            return {
+                site: {"hits": s.hits, "fires": s.fires}
+                for site, s in self._sites.items()
+            }
+
+
+# ----------------------------------------------------------------------
+# Process-global installation (the seams' single lookup point)
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def install(plan: Optional[FaultPlan], *, scope: str = "") -> Optional[FaultInjector]:
+    """Install ``plan`` process-wide (None uninstalls); returns the injector."""
+    global _ACTIVE
+    _ACTIVE = FaultInjector(plan, scope=scope) if plan is not None else None
+    return _ACTIVE
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def get_active() -> Optional[FaultInjector]:
+    """The installed injector, or None (the zero-cost default)."""
+    return _ACTIVE
+
+
+@contextmanager
+def injected(plan: FaultPlan, *, scope: str = ""):
+    """Context manager: install a plan, yield its injector, uninstall."""
+    injector = install(plan, scope=scope)
+    try:
+        yield injector
+    finally:
+        uninstall()
+
+
+__all__ = [
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "install",
+    "uninstall",
+    "get_active",
+    "injected",
+]

@@ -47,10 +47,12 @@ import math
 import socket
 import threading
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import QueryError, ReproError, ServingError
+from repro.errors import DeadlineError, InjectedFaultError, QueryError, ReproError, ServingError
 from repro.relational.dsl import query_from_dict
+from repro.serving import faults
 from repro.serving.admission import AdmissionController
 from repro.serving.config import HttpConfig
 from repro.serving.metrics import MetricsRegistry
@@ -131,6 +133,10 @@ class EstimationHttpServer:
             "repro_http_request_seconds",
             "Admitted estimate-request wall time by tenant.",
         )
+        self._degraded_queries = self.metrics.counter(
+            "repro_http_degraded_total",
+            "Queries answered by the degraded-mode fallback, by tenant.",
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._conns: set = set()
         self._draining = False
@@ -198,6 +204,18 @@ class EstimationHttpServer:
     async def _serve_conn(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        injector = faults.get_active()
+        if injector is not None:
+            # Chaos seam: an ``http.connection`` fault (any kind) aborts the
+            # connection before the first request is read — the client sees
+            # the mid-flight disconnect its retry policy must survive.
+            try:
+                fired = injector.check("http.connection") is not None
+            except InjectedFaultError:
+                fired = True
+            if fired:
+                writer.close()
+                return
         sock = writer.get_extra_info("socket")
         if sock is not None:
             try:
@@ -369,12 +387,18 @@ class EstimationHttpServer:
                 {"error": f"rejected by admission ({decision.reason})"},
                 retry if decision.status in (429, 503) else [],
             )
+        # Absolute deadline rides the request through scheduler and pool:
+        # work still queued when it passes fails with DeadlineError (504
+        # here) *before* dispatch, so expired requests never hold a worker.
+        abs_deadline = (
+            time.monotonic() + deadline_s if deadline_s is not None else None
+        )
         try:
             try:
                 futures = [
                     self.service.submit(
                         query, model=model, seed=seed, n_samples=n_samples,
-                        max_rel_var=max_rel_var,
+                        max_rel_var=max_rel_var, deadline=abs_deadline,
                     )
                     for query, seed in zip(queries, seeds)
                 ]
@@ -393,6 +417,8 @@ class EstimationHttpServer:
                     estimates = await gathered
             except asyncio.TimeoutError:
                 return finish(504, {"error": "deadline exceeded in flight"})
+            except DeadlineError as exc:
+                return finish(504, {"error": str(exc)})
             except QueryError as exc:
                 return finish(400, {"error": str(exc)})
             except ReproError as exc:
@@ -404,11 +430,18 @@ class EstimationHttpServer:
             self.admission.release(elapsed)
             self._latency.observe(elapsed, tenant=tenant)
         self._queries.inc(len(queries), tenant=tenant)
+        n_degraded = sum(
+            1 for f in futures if getattr(f, "degraded", False)
+        )
+        if n_degraded:
+            self._degraded_queries.inc(n_degraded, tenant=tenant)
         payload: Dict[str, object] = {"model": model}
         if single:
             payload["estimate"] = float(estimates[0])
         else:
             payload["estimates"] = [float(e) for e in estimates]
+        if n_degraded:
+            payload["degraded"] = True
         return finish(200, payload)
 
     def _parse_estimate(self, body: bytes):
@@ -524,6 +557,14 @@ class EstimationHttpServer:
         )
         for key, value in service_stats["registry"].items():
             registry_g.set(float(value), stat=key)
+        resilience_g = self.metrics.gauge(
+            "repro_resilience_stat",
+            "Circuit-breaker + degraded-fallback telemetry "
+            "(state: 0=closed 1=half_open 2=open).",
+        )
+        for model, stats in service_stats.get("resilience", {}).items():
+            for key, value in stats.items():
+                resilience_g.set(float(value), model=model, stat=key)
         staleness_qerror = self.metrics.gauge(
             "repro_drift_staleness_qerror",
             "Rolling served-estimate q-error vs reported truths.",
@@ -569,6 +610,9 @@ class HttpServerThread:
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
         self.server: Optional[EstimationHttpServer] = None
+        #: True once a stop() drain exceeded its timeout — requests may
+        #: have been abandoned mid-flight when the loop was torn down.
+        self.drain_timed_out = False
 
     # ------------------------------------------------------------------
     def start(self) -> "HttpServerThread":
@@ -615,8 +659,19 @@ class HttpServerThread:
             )
             try:
                 drained.result(timeout=timeout)
-            except (asyncio.TimeoutError, TimeoutError):  # pragma: no cover
-                pass
+            except (asyncio.TimeoutError, TimeoutError):
+                # Don't swallow a botched drain: flag it and warn so tests
+                # and operators see that in-flight requests may have been
+                # abandoned when the loop went down.
+                self.drain_timed_out = True
+                drained.cancel()
+                warnings.warn(
+                    f"HTTP server drain did not complete within {timeout}s; "
+                    "tearing the event loop down with requests possibly "
+                    "still in flight",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         loop.call_soon_threadsafe(loop.stop)
         thread.join(timeout=timeout)
 

@@ -11,9 +11,12 @@ instead of a model and nothing else changes.
 Built on :mod:`http.client` (stdlib): one keep-alive connection per
 thread (thread-local, so the harness's ``concurrency=N`` closed loop gets
 N independent connections), ``TCP_NODELAY`` against Nagle/delayed-ACK
-stalls, and a single transparent retry when a kept-alive connection turns
-out to have been closed server-side (estimates are read-only, so the
-retry is safe).
+stalls, and bounded retries with exponential backoff + jitter: dropped
+connections and 429/503 estimate responses are retried up to
+``max_retries`` times (honoring the server's ``Retry-After``), then the
+last typed error is raised. Estimates are read-only, so retries are safe;
+``max_retries=0`` restores fail-fast behavior for callers that reconcile
+request counts exactly.
 
 Error mapping: 4xx responses raise :class:`~repro.errors.QueryError`
 (caller bug — malformed DSL, unknown model/tenant, quota), 5xx raise
@@ -25,8 +28,10 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import threading
+import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -50,6 +55,17 @@ class HttpEstimationClient:
         header (the server applies the default quota).
     timeout:
         Socket timeout in seconds for connect/read.
+    max_retries:
+        Retries after the first attempt, covering dropped connections
+        (all requests) and 429/503 responses (estimate requests only —
+        ``/healthz`` legitimately answers 503 while draining). 0 fails
+        fast: exactly one wire request per call.
+    backoff_base_s, backoff_cap_s:
+        Exponential backoff schedule: retry ``k`` sleeps
+        ``min(cap, base * 2**k)`` scaled by uniform jitter in
+        ``[0.5, 1.0]``, or the server's ``Retry-After`` if larger.
+    retry_seed:
+        Pins the jitter RNG for reproducible retry timing.
     """
 
     def __init__(
@@ -60,12 +76,24 @@ class HttpEstimationClient:
         *,
         tenant: Optional[str] = None,
         timeout: float = 30.0,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        retry_seed: Optional[int] = None,
     ):
+        if max_retries < 0:
+            raise ServingError("max_retries must be >= 0")
         self.host = host
         self.port = port
         self.model = model
         self.tenant = tenant
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._rng = random.Random(retry_seed)
+        #: Wire-level retries performed (connection drops + retried 429/503).
+        self.n_retries = 0
         self._local = threading.local()
 
     # ------------------------------------------------------------------
@@ -93,18 +121,50 @@ class HttpEstimationClient:
         """Close this thread's connection (others close on their threads)."""
         self._drop_connection()
 
+    def _backoff_delay(self, retry: int, retry_after: Optional[float]) -> float:
+        """Sleep before retry number ``retry`` (0-based), honoring Retry-After."""
+        delay = min(self.backoff_cap_s, self.backoff_base_s * (2.0 ** retry))
+        delay *= 0.5 + 0.5 * self._rng.random()  # jitter against thundering herds
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return delay
+
+    @staticmethod
+    def _retry_after(headers: Dict[str, str]) -> Optional[float]:
+        for name, value in headers.items():
+            if name.lower() == "retry-after":
+                try:
+                    return float(value)
+                except ValueError:
+                    return None
+        return None
+
     def _request(
-        self, method: str, path: str, body: Optional[bytes] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        *,
+        retry_statuses: "tuple[int, ...]" = (),
     ) -> "tuple[int, Dict[str, str], bytes]":
         headers = {"Connection": "keep-alive"}
         if body is not None:
             headers["Content-Type"] = "application/json"
         if self.tenant is not None:
             headers["X-Tenant"] = self.tenant
-        # A kept-alive connection may have been closed server-side (drain,
-        # idle timeout) between requests; estimates are read-only, so one
-        # transparent retry on a fresh connection is safe.
-        for attempt in (0, 1):
+        # Estimates are read-only, so retrying is always safe. Two failure
+        # shapes are retried with exponential backoff + jitter: dropped
+        # connections (drain, idle timeout, mid-flight crash) and — for the
+        # estimate route — 429/503 sheds, sleeping at least the server's
+        # Retry-After. The final attempt's failure surfaces as the usual
+        # typed error (connection exception here, QueryError/ServingError
+        # from _decode for an HTTP status).
+        delay = 0.0
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self.n_retries += 1
+                if delay > 0:
+                    time.sleep(delay)
             conn = self._connection()
             try:
                 conn.request(method, path, body=body, headers=headers)
@@ -117,12 +177,17 @@ class HttpEstimationClient:
                 BrokenPipeError,
             ):
                 self._drop_connection()
-                if attempt:
+                if attempt == self.max_retries:
                     raise
+                delay = self._backoff_delay(attempt, None)
                 continue
             if response.getheader("Connection", "").lower() == "close":
                 self._drop_connection()
-            return response.status, dict(response.getheaders()), payload
+            result = response.status, dict(response.getheaders()), payload
+            if response.status in retry_statuses and attempt < self.max_retries:
+                delay = self._backoff_delay(attempt, self._retry_after(result[1]))
+                continue
+            return result
         raise ServingError("unreachable")  # pragma: no cover
 
     @staticmethod
@@ -194,6 +259,7 @@ class HttpEstimationClient:
             "POST",
             f"/v1/models/{self.model}/estimate",
             json.dumps(body).encode("utf-8"),
+            retry_statuses=(429, 503),
         )
         return self._decode(status, payload)
 

@@ -30,6 +30,7 @@ from repro.core.estimator import NeuroCard
 from repro.core.refresh import clone_estimator
 from repro.errors import ServingError
 from repro.relational.schema import JoinSchema
+from repro.serving import faults
 
 
 @dataclass
@@ -149,6 +150,9 @@ class ModelRegistry:
             if path is not None:
                 from repro.core.persistence import load_model  # cycle-free at call time
 
+                injector = faults.get_active()
+                if injector is not None:
+                    injector.check("registry.load")
                 loaded = load_model(path, schema)
                 # Fold the serving kernels before the model goes live, so
                 # the first request after a lazy load is already compiled.
@@ -197,6 +201,9 @@ class ModelRegistry:
         """
         if not estimator.is_fitted:
             raise ServingError(f"swap({name!r}) requires a fitted estimator")
+        injector = faults.get_active()
+        if injector is not None:
+            injector.check("registry.swap")  # fails the swap; old model serves
         # Compile outside the registry lock so a slow fold never stalls
         # lookups; duck-typed test models without the hook are fine.
         precompile = getattr(estimator, "precompile", None)

@@ -1,0 +1,144 @@
+"""Degraded-mode serving: per-model circuit breaker + fallback routing.
+
+The paper's setting is a DBMS component: the optimizer must always get
+*some* cardinality estimate. A model that cannot serve at all — poisoned
+swap, crashed pool, corrupted artifact — should degrade to cheap
+per-table statistics (``baselines.per_table.PerTableStatsEstimator``)
+rather than surface errors to every caller.
+
+:class:`CircuitBreaker` implements the classic three-state machine,
+per served model:
+
+* **closed** — traffic flows to the primary (scheduler/pool). Each
+  infrastructure failure increments a consecutive-failure counter; each
+  success resets it. At ``failures`` consecutive failures the breaker
+  opens.
+* **open** — the primary is skipped entirely: requests are answered by
+  the registered fallback (marked ``degraded``), so a hard-down model
+  costs the fallback's microseconds instead of a scheduler timeout per
+  request. After ``cooldown_s`` the breaker lets exactly one probe
+  through.
+* **half-open** — one in-flight probe hits the primary; success closes
+  the breaker, failure re-opens it and restarts the cooldown.
+
+The breaker only *counts* by default: routing to a fallback happens in
+:class:`~repro.serving.service.EstimationService` and only when one is
+registered, so services without fallbacks keep their exact pre-existing
+error semantics. :class:`~repro.errors.DeadlineError` (deliberate
+cancellation) and :class:`~repro.errors.QueryError` (caller bug) never
+count as failures and are never answered by the fallback.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+from repro.errors import ServingError
+
+#: allow() routing decisions.
+PRIMARY = "primary"
+PROBE = "probe"
+FALLBACK = "fallback"
+
+_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+class CircuitBreaker:
+    """Thread-safe closed/open/half-open breaker with monotonic cooldown.
+
+    ``clock`` is injectable (tests pin time); it must be monotonic.
+    """
+
+    def __init__(
+        self,
+        *,
+        failures: int = 5,
+        cooldown_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failures < 1:
+            raise ServingError("failures must be >= 1")
+        if cooldown_s < 0:
+            raise ServingError("cooldown_s must be >= 0")
+        self.failures = failures
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        # Telemetry (guarded writes, approximate reads).
+        self.n_opens = 0
+        self.n_probes = 0
+        self.n_fallback_routes = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    # ------------------------------------------------------------------
+    def allow(self) -> str:
+        """Route one request: ``"primary"``, ``"probe"``, or ``"fallback"``.
+
+        Callers routed to the primary or a probe must report the outcome
+        via :meth:`record_success` / :meth:`record_failure` with the same
+        ``probe`` flag.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return PRIMARY
+            if (
+                self._state == "open"
+                and self._clock() - self._opened_at >= self.cooldown_s
+            ):
+                self._state = "half_open"
+            if self._state == "half_open" and not self._probe_in_flight:
+                self._probe_in_flight = True
+                self.n_probes += 1
+                return PROBE
+            self.n_fallback_routes += 1
+            return FALLBACK
+
+    def record_success(self, *, probe: bool = False) -> None:
+        with self._lock:
+            if probe:
+                self._probe_in_flight = False
+            self._consecutive = 0
+            self._state = "closed"
+
+    def record_failure(self, *, probe: bool = False) -> None:
+        with self._lock:
+            if probe:
+                self._probe_in_flight = False
+            if probe or self._state == "half_open":
+                self._reopen_locked()
+                return
+            if self._state == "open":
+                return
+            self._consecutive += 1
+            if self._consecutive >= self.failures:
+                self._reopen_locked()
+
+    def _reopen_locked(self) -> None:
+        self._state = "open"
+        self._consecutive = 0
+        self._opened_at = self._clock()
+        self.n_opens += 1
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "state": float(_STATE_CODES[self._state]),
+                "consecutive_failures": float(self._consecutive),
+                "opens": float(self.n_opens),
+                "probes": float(self.n_probes),
+                "fallback_routes": float(self.n_fallback_routes),
+            }
+
+
+__all__ = ["CircuitBreaker", "PRIMARY", "PROBE", "FALLBACK"]

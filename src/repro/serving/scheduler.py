@@ -37,8 +37,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ServingError
+from repro.errors import DeadlineError, ServingError
 from repro.relational.query import Query
+from repro.serving import faults
 
 #: ``source`` contract: returns the current (model, version) pair.
 ModelSource = Callable[[], Tuple[object, int]]
@@ -53,6 +54,10 @@ class _Request:
     future: Future
     cache_key: Optional[tuple]
     enqueued_at: float
+    #: Absolute ``time.monotonic()`` deadline (None = no deadline). Expired
+    #: requests are failed with :class:`DeadlineError` at flush time,
+    #: *before* dispatch, so dead work never burns batch slots.
+    deadline: Optional[float] = None
 
 
 class MicroBatchScheduler:
@@ -115,6 +120,7 @@ class MicroBatchScheduler:
         self.n_batches = 0
         self.n_cache_hits = 0
         self.n_flushed_requests = 0
+        self.n_deadline_expired = 0
         self._flusher = threading.Thread(
             target=self._run, name=f"microbatch-{name}", daemon=True
         )
@@ -130,6 +136,7 @@ class MicroBatchScheduler:
         seed: Optional[int] = None,
         n_samples: Optional[int] = None,
         max_rel_var: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> Future:
         """Enqueue one query; returns a Future resolving to its COUNT(*) estimate.
 
@@ -141,6 +148,11 @@ class MicroBatchScheduler:
         (probe walk first, escalate to the full ``n_samples`` only when the
         relative standard error exceeds the bound); it is part of the result
         cache key, so adaptive and fixed-samples results never alias.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant: a request
+        still queued when it passes is failed with
+        :class:`~repro.errors.DeadlineError` before dispatch instead of
+        occupying a slot in a batch whose answer nobody is waiting for.
         """
         model, version = self._source()
         n_samples = n_samples if n_samples is not None else self.n_samples
@@ -163,7 +175,7 @@ class MicroBatchScheduler:
             self._queue.append(
                 _Request(
                     query, seed, n_samples, max_rel_var, future, key,
-                    time.perf_counter(),
+                    time.perf_counter(), deadline,
                 )
             )
             self._work.notify()
@@ -193,6 +205,7 @@ class MicroBatchScheduler:
                 "mean_batch_size": (
                     self.n_flushed_requests / self.n_batches if self.n_batches else 0.0
                 ),
+                "deadline_expired": self.n_deadline_expired,
             }
         out.update(self._engine_stats())
         return out
@@ -304,6 +317,27 @@ class MicroBatchScheduler:
         batch = [r for r in batch if r.future.set_running_or_notify_cancel()]
         if not batch:
             return
+        # Cancel expired work before dispatch: a request whose deadline has
+        # already passed gets a typed DeadlineError now instead of burning a
+        # batch slot computing an answer its caller stopped waiting for.
+        now = time.monotonic()
+        expired = [
+            r for r in batch if r.deadline is not None and now >= r.deadline
+        ]
+        if expired:
+            batch = [
+                r for r in batch if r.deadline is None or now < r.deadline
+            ]
+            with self._lock:
+                self.n_deadline_expired += len(expired)
+            self._fail(
+                expired,
+                DeadlineError(
+                    f"deadline expired before dispatch on scheduler {self.name!r}"
+                ),
+            )
+            if not batch:
+                return
         try:
             model, version = self._source()
         except BaseException as exc:  # registry failure: fail the whole batch
@@ -340,6 +374,9 @@ class MicroBatchScheduler:
             # when every worker is saturated — new submits keep coalescing
             # behind it, exactly like inline execution time used to buy.
             try:
+                injector = faults.get_active()
+                if injector is not None:
+                    injector.check("scheduler.flush")
                 pooled = self._executor.submit_batch(
                     model,
                     version,
@@ -363,6 +400,12 @@ class MicroBatchScheduler:
         if max_rel_var is not None:
             kwargs["max_rel_var"] = max_rel_var
         try:
+            # Chaos seam: fires inside the try so an injected fault fails
+            # this batch's futures (the contract under test), never the
+            # flusher thread itself.
+            injector = faults.get_active()
+            if injector is not None:
+                injector.check("scheduler.flush")
             estimates = model.estimate_batch([r.query for r in requests], **kwargs)
         except BaseException as exc:
             self._fail(requests, exc)

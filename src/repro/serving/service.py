@@ -13,6 +13,18 @@ instances (how concurrent requests reach it), so an application does::
 A single-model service also quacks like an estimator (``estimate`` /
 ``estimate_batch``), so it drops straight into
 :func:`repro.eval.harness.evaluate_estimator` and the benchmark suites.
+
+Degraded-mode cascade (PR 9): :meth:`register_fallback` attaches a cheap
+estimator (default: training-free per-table statistics) behind a model's
+per-model :class:`~repro.serving.resilience.CircuitBreaker`. While the
+breaker is closed, primary failures are answered by the fallback (and
+counted); after ``config.breaker_failures`` consecutive failures the
+breaker opens and traffic skips the broken primary entirely until a
+half-open probe succeeds. Fallback-served futures carry
+``future.degraded == True`` — the HTTP layer surfaces that as
+``"degraded": true`` in response bodies and a counter on ``/metrics``.
+Deadline expiries and invalid queries are never cascaded: they are the
+caller's signal, not a serving failure.
 """
 
 from __future__ import annotations
@@ -26,11 +38,12 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.core.estimator import NeuroCard
-from repro.errors import ServingError
+from repro.errors import DeadlineError, QueryError, ServingError
 from repro.relational.query import Query
 from repro.relational.schema import JoinSchema
 from repro.serving.config import ServingConfig
 from repro.serving.registry import ModelRegistry
+from repro.serving.resilience import FALLBACK, PROBE, CircuitBreaker
 from repro.serving.scheduler import MicroBatchScheduler
 from repro.serving.updates import (
     BackgroundRefresher,
@@ -93,6 +106,10 @@ class EstimationService:
         self._schedulers: Dict[str, MicroBatchScheduler] = {}
         self._pools: Dict[str, WorkerPool] = {}
         self._refreshers: list[BackgroundRefresher] = []
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._fallbacks: Dict[str, object] = {}
+        self._degraded: Dict[str, int] = {}
+        self._fallback_errors: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._closed = False
         # Eager publish on hot-swap: the new version reaches every worker
@@ -159,6 +176,51 @@ class EstimationService:
             self._refreshers.append(refresher)
         return refresher.start()
 
+    def register_fallback(
+        self, model: Optional[str] = None, estimator=None
+    ) -> "EstimationService":
+        """Attach a degraded-mode fallback estimator behind ``model``'s breaker.
+
+        With no ``estimator``, a training-free
+        :class:`~repro.baselines.per_table.PerTableStatsEstimator` is built
+        from the registered model's schema — exact on single-table
+        conjunctions, independence-assumption across joins, and immune to
+        whatever broke the primary (no weights, no workers, no artifacts).
+        Once registered, primary failures are answered by the fallback and
+        the per-model circuit breaker starts routing (see module docstring).
+        """
+        name = self._resolve(model)
+        if name not in self.registry:
+            raise ServingError(f"unknown model {name!r}")
+        if estimator is None:
+            schema = getattr(self.registry.get(name), "schema", None)
+            if schema is None:
+                raise ServingError(
+                    f"model {name!r} exposes no schema; pass an explicit "
+                    "fallback estimator"
+                )
+            from repro.baselines.per_table import PerTableStatsEstimator
+
+            estimator = PerTableStatsEstimator(schema)
+        with self._lock:
+            if self._closed:
+                raise ServingError("service is closed")
+            self._fallbacks[name] = estimator
+        return self
+
+    def breaker(self, model: Optional[str] = None) -> CircuitBreaker:
+        """The (lazily created) circuit breaker in front of ``model``."""
+        name = self._resolve(model)
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failures=self.config.breaker_failures,
+                    cooldown_s=self.config.breaker_cooldown_s,
+                )
+                self._breakers[name] = breaker
+        return breaker
+
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
@@ -217,10 +279,95 @@ class EstimationService:
         seed: Optional[int] = None,
         n_samples: Optional[int] = None,
         max_rel_var: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> Future:
-        return self.scheduler(model).submit(
-            query, seed=seed, n_samples=n_samples, max_rel_var=max_rel_var
-        )
+        """Submit ``query``; resolves through the fallback cascade if attached.
+
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp: requests
+        still queued when it passes fail with
+        :class:`~repro.errors.DeadlineError` *before* dispatch, so expired
+        work never occupies a worker. Returned futures carry a ``degraded``
+        attribute (True when the answer came from the fallback estimator).
+        """
+        name = self._resolve(model)
+        fallback = self._fallbacks.get(name)
+        if fallback is None:
+            # No fallback registered: original semantics, untouched — the
+            # breaker isn't even consulted, so errors surface verbatim.
+            return self.scheduler(name).submit(
+                query,
+                seed=seed,
+                n_samples=n_samples,
+                max_rel_var=max_rel_var,
+                deadline=deadline,
+            )
+
+        breaker = self.breaker(name)
+        route = breaker.allow()
+        if route == FALLBACK:
+            # Open circuit: skip the broken primary entirely (no scheduler
+            # queueing, no worker dispatch) and answer from the fallback.
+            outer: Future = Future()
+            self._resolve_degraded(outer, name, query, fallback, cause=None)
+            return outer
+
+        probe = route == PROBE
+        try:
+            inner = self.scheduler(name).submit(
+                query,
+                seed=seed,
+                n_samples=n_samples,
+                max_rel_var=max_rel_var,
+                deadline=deadline,
+            )
+        except QueryError:
+            if probe:
+                breaker.record_success(probe=True)  # release the probe slot
+            raise
+        except Exception as exc:
+            # Submit-time serving failure (closed scheduler, dead flusher,
+            # artifact load error): counts against the breaker and cascades.
+            breaker.record_failure(probe=probe)
+            outer = Future()
+            self._resolve_degraded(outer, name, query, fallback, cause=exc)
+            return outer
+
+        outer = Future()
+        outer.degraded = False
+
+        def _settle(done: Future) -> None:
+            exc = done.exception()
+            if exc is None:
+                breaker.record_success(probe=probe)
+                outer.set_result(done.result())
+            elif isinstance(exc, (DeadlineError, QueryError)):
+                # The caller's signal (expired budget / invalid query) —
+                # neither a serving failure nor something to answer for.
+                if probe:
+                    breaker.record_success(probe=True)
+                outer.set_exception(exc)
+            else:
+                breaker.record_failure(probe=probe)
+                self._resolve_degraded(outer, name, query, fallback, cause=exc)
+
+        inner.add_done_callback(_settle)
+        return outer
+
+    def _resolve_degraded(
+        self, outer: Future, name: str, query: Query, fallback, *, cause
+    ) -> None:
+        """Answer ``outer`` from the fallback estimator (or the original error)."""
+        try:
+            estimate = float(fallback.estimate(query))
+        except Exception as fallback_exc:
+            with self._lock:
+                self._fallback_errors[name] = self._fallback_errors.get(name, 0) + 1
+            outer.set_exception(cause if cause is not None else fallback_exc)
+            return
+        with self._lock:
+            self._degraded[name] = self._degraded.get(name, 0) + 1
+        outer.degraded = True
+        outer.set_result(estimate)
 
     def estimate(
         self, query: Query, *, model: Optional[str] = None, seed: Optional[int] = None
@@ -240,6 +387,10 @@ class EstimationService:
             schedulers = dict(self._schedulers)
             pools = dict(self._pools)
             refreshers = list(self._refreshers)
+            breakers = dict(self._breakers)
+            fallbacks = set(self._fallbacks)
+            degraded = dict(self._degraded)
+            fallback_errors = dict(self._fallback_errors)
         stats = {
             "models": {name: s.stats() for name, s in schedulers.items()},
             "registry": {
@@ -253,6 +404,15 @@ class EstimationService:
             stats["pools"] = {name: p.stats() for name, p in pools.items()}
         if refreshers:
             stats["updates"] = {r.name: r.stats() for r in refreshers}
+        if breakers or fallbacks:
+            resilience: Dict[str, Dict] = {}
+            for name in sorted(set(breakers) | fallbacks):
+                entry = breakers[name].stats() if name in breakers else {}
+                entry["fallback_registered"] = int(name in fallbacks)
+                entry["degraded_responses"] = degraded.get(name, 0)
+                entry["fallback_errors"] = fallback_errors.get(name, 0)
+                resilience[name] = entry
+            stats["resilience"] = resilience
         return stats
 
     def close(self) -> None:

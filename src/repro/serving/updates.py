@@ -46,6 +46,7 @@ from repro.core.refresh import FAST_REFRESH_FRACTION, full_retrain
 from repro.errors import DataError, ServingError
 from repro.relational.schema import JoinSchema
 from repro.relational.table import Table
+from repro.serving import faults
 
 
 class StreamingIngestor:
@@ -510,6 +511,12 @@ class BackgroundRefresher:
                 started_at=time.monotonic(),
             )
             try:
+                # Chaos seam: inside the try, so an injected fault follows
+                # the contract under test — a failed RefreshEvent, the old
+                # model keeps serving, no retry until data moves on.
+                injector = faults.get_active()
+                if injector is not None:
+                    injector.check("refresher.train")
                 if strategy == "fast":
                     event.model_version = self.registry.refresh(
                         self.name,

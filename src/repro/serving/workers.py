@@ -60,6 +60,7 @@ from repro.core.inference import attach_engine_state, export_engine_state
 from repro.errors import ServingError
 from repro.nn.compiled import pack_layout, read_blob, write_blob
 from repro.relational.query import Query
+from repro.serving import faults
 
 #: ``source`` contract (same as the scheduler's): current (model, version).
 ModelSource = Callable[[], Tuple[object, int]]
@@ -200,6 +201,21 @@ def _worker_main(slot: int, conn) -> None:
                 return
             if kind == "model":
                 try:
+                    # The parent's fault plan rides every model payload so a
+                    # spawned (or respawned) worker joins the same chaos
+                    # experiment; scope="worker-{slot}" gives each slot its
+                    # own deterministic per-site schedule. Re-publishes of
+                    # the same plan keep the running injector (and its hit
+                    # counters) instead of resetting the schedule.
+                    plan = msg[1].get("fault_plan")
+                    current = faults.get_active()
+                    if plan is None:
+                        faults.uninstall()
+                    elif current is None or current.plan != plan:
+                        faults.install(plan, scope=f"worker-{slot}")
+                    injector = faults.get_active()
+                    if injector is not None:
+                        injector.check("worker.attach")
                     state.install(msg[1])
                 except BaseException as exc:
                     # Keep serving the previous model; the parent surfaces
@@ -217,6 +233,10 @@ def _worker_main(slot: int, conn) -> None:
             elif kind == "batch":
                 _, chunk_id, version, queries, rngs, n_samples, max_rel_var = msg
                 try:
+                    injector = faults.get_active()
+                    if injector is not None:
+                        injector.check("worker.crash")  # kind="crash": dies here
+                        injector.check("worker.batch")
                     if state.est is None:
                         raise ServingError("worker has no model installed")
                     if version != state.version:
@@ -503,8 +523,12 @@ class WorkerPool:
         Estimators with a real parameterized model export through shared
         memory (weights + compiled deterministic buffers, zero-copy on
         attach); anything else — duck-typed test models, bare oracle
-        engines — ships as one pickled blob.
+        engines — ships as one pickled blob. When a fault plan is installed
+        in this (parent) process it rides along, so worker processes run
+        the same chaos experiment under their own per-slot scopes.
         """
+        injector = faults.get_active()
+        fault_plan = injector.plan if injector is not None else None
         if isinstance(model, NeuroCard) and model.model is not None:
             arrays: Dict[str, np.ndarray] = {}
             params = model.model.parameters()
@@ -524,6 +548,7 @@ class WorkerPool:
                 "schema": model.schema,
                 "config": model.config,
                 "mode": model._compile_mode,  # noqa: SLF001 - serving twin
+                "fault_plan": fault_plan,
             }
             return payload, segment
         try:
@@ -534,7 +559,12 @@ class WorkerPool:
                 "exportable (NeuroCard) nor picklable; cannot serve it "
                 "from a worker pool"
             ) from exc
-        return {"transport": "pickle", "version": version, "blob": blob}, None
+        return {
+            "transport": "pickle",
+            "version": version,
+            "blob": blob,
+            "fault_plan": fault_plan,
+        }, None
 
     def _await_ready(self, version: int, timeout: float) -> None:
         deadline = time.monotonic() + timeout
@@ -600,6 +630,9 @@ class WorkerPool:
             if self._closed:
                 raise ServingError(f"worker pool {self.name!r} is closed")
             self._ensure_started_locked()
+        injector = faults.get_active()
+        if injector is not None:
+            injector.check("worker.dispatch")  # raises into the caller's try
         self._await_capacity()
         pending = _PendingBatch(len(queries))
         assignments = None

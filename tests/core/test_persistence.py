@@ -193,7 +193,7 @@ class TestCompiledCacheExemption:
         path = save_model(estimator, tmp_path / "compiled.npz")
         with np.load(path) as data:
             meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
-            assert meta["format_version"] == 3
+            assert meta["format_version"] == 4
             assert all(
                 key == "__meta__" or key.startswith("param::") for key in data.files
             )

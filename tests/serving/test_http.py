@@ -210,7 +210,11 @@ class TestAdmissionOverTheWire:
         service.register("slow", FakeModel(tag=7.0, delay=0.2))
         query = Query.make(["R"], [])
         with HttpServerThread(service, HttpConfig(port=0)) as server:
-            client = HttpEstimationClient(server.host, server.port, "slow")
+            # max_retries=0: a retried 503 would shed more than once and
+            # break the exact shed-count assertion below.
+            client = HttpEstimationClient(
+                server.host, server.port, "slow", max_retries=0
+            )
             assert client.estimate(query) == 7.0  # teaches the EWMA ~0.2s
             with pytest.raises(ServingError, match="503.*deadline"):
                 client.estimate(query, deadline_ms=10.0)
@@ -302,7 +306,11 @@ class TestGracefulDrain:
         stop = threading.Event()
 
         def worker():
-            client = HttpEstimationClient(server.host, server.port, "m")
+            # Fail fast on drain-time 503s/disconnects: this test asserts
+            # the *first* response for every request, not retried outcomes.
+            client = HttpEstimationClient(
+                server.host, server.port, "m", max_retries=0
+            )
             while not stop.is_set():
                 try:
                     successes.append(client.estimate(query))
