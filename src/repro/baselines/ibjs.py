@@ -40,6 +40,9 @@ class IBJSEstimator:
     #: no persistent model is materialized (paper shows Size "-")
     size_bytes = None
 
+    #: sampling needs only the live schema + indexes; always servable
+    is_fitted = True
+
     def __init__(
         self,
         schema: JoinSchema,
@@ -52,7 +55,7 @@ class IBJSEstimator:
         self.max_samples = max_samples
         self._rng = np.random.default_rng(seed)
 
-    def estimate(self, query: Query) -> float:
+    def estimate(self, query: Query, **_ignored) -> float:
         query.validate(self.schema)
         rng = self._rng
         masks = {
@@ -103,6 +106,15 @@ class IBJSEstimator:
                 inter[edge.child] = child_rows
         final = len(next(iter(inter.values())))
         return weight * final
+
+    def estimate_batch(self, queries, **_ignored) -> np.ndarray:
+        """Per-query walks, in order, off the shared generator stream.
+
+        Equivalent to calling :meth:`estimate` sequentially on the same
+        instance (the walks consume ``self._rng`` in query order), which
+        is the strongest equivalence a stochastic sampler can offer.
+        """
+        return np.array([self.estimate(q) for q in queries], dtype=np.float64)
 
 
 class BiasedJoinSampler(FullJoinSampler):

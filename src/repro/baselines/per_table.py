@@ -63,6 +63,10 @@ class PerTableAREstimator:
     def size_bytes(self) -> int:
         return sum(m.size_bytes for m in self.models.values())
 
+    @property
+    def is_fitted(self) -> bool:
+        return all(m.is_fitted for m in self.models.values())
+
     def _graph_size(self, tables: Tuple[str, ...]) -> float:
         if tables not in self._size_cache:
             self._size_cache[tables] = inner_join_count(
@@ -70,7 +74,7 @@ class PerTableAREstimator:
             )
         return self._size_cache[tables]
 
-    def estimate(self, query: Query) -> float:
+    def estimate(self, query: Query, **_ignored) -> float:
         query.validate(self.schema)
         card = self._graph_size(tuple(sorted(query.tables)))
         by_table = query.predicates_by_table()
@@ -79,6 +83,10 @@ class PerTableAREstimator:
             table_card = self.models[tname].estimate(single)
             card *= max(table_card, 0.0) / max(self.schema.table(tname).n_rows, 1)
         return card
+
+    def estimate_batch(self, queries, **_ignored) -> np.ndarray:
+        """Sequential-equivalent batch estimates (deterministic per-table models)."""
+        return np.array([self.estimate(q) for q in queries], dtype=np.float64)
 
 
 class PerTableStatsEstimator:

@@ -26,6 +26,9 @@ class JoinSampleEstimator:
     name = "JoinSamples"
     size_bytes = None
 
+    #: samples are drawn lazily from the live schema; always servable
+    is_fitted = True
+
     def __init__(
         self,
         schema: JoinSchema,
@@ -47,7 +50,7 @@ class JoinSampleEstimator:
             )
         return self._size_cache[tables]
 
-    def estimate(self, query: Query) -> float:
+    def estimate(self, query: Query, **_ignored) -> float:
         query.validate(self.schema)
         size = self._graph_size(tuple(sorted(query.tables)))
         if size <= 0:
@@ -58,3 +61,7 @@ class JoinSampleEstimator:
             mask = pred.mask(self.schema.table(pred.table))
             passing &= mask[rows[pred.table]]
         return size * float(passing.sum()) / self.n_samples
+
+    def estimate_batch(self, queries, **_ignored) -> np.ndarray:
+        """Sequential-equivalent batch estimates (shared generator, in order)."""
+        return np.array([self.estimate(q) for q in queries], dtype=np.float64)

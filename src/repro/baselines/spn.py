@@ -187,7 +187,17 @@ class DeepDBEstimator:
 
     ``large=True`` mirrors DeepDB-large: finer structure learning and more
     training samples (bigger, slower, slightly better at the median).
+
+    Serving-protocol conformant (``is_fitted`` / ``size_bytes`` /
+    ``estimate_batch``): registrable in a
+    :class:`~repro.serving.registry.ModelRegistry` and usable as a
+    mid-cascade tier (``docs/estimators.md``). Deterministic at query
+    time — the SPNs are frozen after construction — so batch and
+    sequential estimates are identical.
     """
+
+    #: SPNs are fitted in the constructor; an instance is always servable.
+    is_fitted = True
 
     def __init__(
         self,
@@ -292,7 +302,7 @@ class DeepDBEstimator:
             regions[name] = regions[name].intersect(region) if name in regions else region
         return regions
 
-    def estimate(self, query: Query) -> float:
+    def estimate(self, query: Query, **_ignored) -> float:
         query.validate(self.schema)
         root = self.schema.root
         in_query = set(query.tables)
@@ -322,3 +332,7 @@ class DeepDBEstimator:
             joint = self.pair_sizes[child] * self.pair_spns[child].prob(regions)
             out *= joint / card_root
         return max(out, 0.0)
+
+    def estimate_batch(self, queries: Sequence[Query], **_ignored) -> np.ndarray:
+        """Sequential-equivalent batch estimates (the model is deterministic)."""
+        return np.array([self.estimate(q) for q in queries], dtype=np.float64)

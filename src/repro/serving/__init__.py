@@ -32,7 +32,14 @@ batched inference fast path:
   stack, and :mod:`repro.serving.resilience` — the per-model
   :class:`CircuitBreaker` behind
   :meth:`EstimationService.register_fallback`'s degraded-mode cascade
-  (see ``docs/resilience.md``).
+  (see ``docs/resilience.md``);
+* :mod:`repro.serving.cascade` — the latency-budgeted estimator cascade
+  (:class:`EstimatorCascade`, :class:`CascadeCalibration`,
+  :class:`QueryFeatures`): cheap tiers answer easy queries inline, only
+  the hard tail escalates to the neural model (see
+  ``docs/estimators.md``); configured via :class:`CascadeConfig` and
+  attached with :meth:`EstimationService.attach_cascade` /
+  :meth:`EstimationService.enable_cascade`.
 
 Everything that answers queries — a bare estimator, a scheduler, a
 service, a worker pool — satisfies the :class:`EstimationClient`
@@ -43,7 +50,8 @@ protocol and handed any serving depth.
 from typing import Protocol, Sequence, runtime_checkable
 
 from repro.serving.admission import AdmissionController, TenantQuota
-from repro.serving.config import HttpConfig, ServingConfig
+from repro.serving.cascade import CascadeCalibration, EstimatorCascade, QueryFeatures
+from repro.serving.config import CascadeConfig, HttpConfig, ServingConfig
 from repro.serving.faults import FaultInjector, FaultPlan, FaultSpec, injected
 from repro.serving.http import EstimationHttpServer, HttpServerThread, serve
 from repro.serving.http_client import HttpEstimationClient
@@ -111,4 +119,8 @@ __all__ = [
     "FaultInjector",
     "injected",
     "CircuitBreaker",
+    "EstimatorCascade",
+    "CascadeCalibration",
+    "CascadeConfig",
+    "QueryFeatures",
 ]

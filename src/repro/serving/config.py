@@ -133,6 +133,81 @@ class HttpConfig:
 
 
 @dataclass(frozen=True)
+class CascadeConfig:
+    """Estimator-cascade knobs: tier order, routing contract, calibration.
+
+    Lives as the ``cascade`` section of :class:`ServingConfig` (same
+    contract: frozen, eagerly validated, dict-round-trippable). The tier
+    names map to the estimators
+    :meth:`~repro.serving.service.EstimationService.enable_cascade`
+    builds (``per_table``, ``deepdb``, ``join_samples``) plus the final
+    ``neural`` tier served by the scheduler; ``docs/estimators.md`` is
+    the per-tier accuracy/latency contract these knobs route against.
+    """
+
+    #: Ordered tier names, cheapest first; the last entry is the final
+    #: (neural) tier the scheduler serves.
+    tiers: Tuple[str, ...] = ("per_table", "neural")
+    #: JSON calibration file persisted alongside the model (None = routes
+    #: uncalibrated until :meth:`EstimatorCascade.calibrate` runs).
+    calibration_path: Optional[str] = None
+    #: Default per-query accuracy contract: a tier answers only when its
+    #: calibrated p95 q-error bound for the query's class fits this.
+    default_max_q_error: float = 4.0
+    #: Default per-query latency budget in milliseconds (None = none);
+    #: requests may override it per call (HTTP ``budget_ms``).
+    default_budget_ms: Optional[float] = None
+    #: Minimum held-out queries per (tier, class) before the calibrated
+    #: bound is trusted; thinner classes escalate.
+    min_class_queries: int = 8
+    #: Rolling staleness q-error at which the neural tier's bound is
+    #: demoted (multiplied by the staleness), leaning routing on the
+    #: cheap tiers while the model drifts.
+    demote_staleness_qerror: float = 2.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tiers", tuple(self.tiers))
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ServingError` naming the first invalid field."""
+        if not self.tiers:
+            raise ServingError("tiers must name at least one tier")
+        seen = set()
+        for name in self.tiers:
+            if not name or not isinstance(name, str):
+                raise ServingError(f"tier names must be non-empty strings, got {name!r}")
+            if name in seen:
+                raise ServingError(f"duplicate cascade tier {name!r}")
+            seen.add(name)
+        if self.default_max_q_error < 1.0:
+            raise ServingError("default_max_q_error must be >= 1")
+        if self.default_budget_ms is not None and self.default_budget_ms <= 0:
+            raise ServingError("default_budget_ms must be positive (or None)")
+        if self.min_class_queries < 1:
+            raise ServingError("min_class_queries must be >= 1")
+        if self.demote_staleness_qerror < 1.0:
+            raise ServingError("demote_staleness_qerror must be >= 1")
+
+    @classmethod
+    def from_dict(cls, values: dict) -> "CascadeConfig":
+        """Build from a plain mapping; unknown keys are hard errors."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(values) - known)
+        if unknown:
+            raise ServingError(
+                f"unknown CascadeConfig field(s) {unknown}; known: {sorted(known)}"
+            )
+        return cls(**values)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form; ``from_dict(to_dict())`` round-trips exactly."""
+        out = dataclasses.asdict(self)
+        out["tiers"] = list(self.tiers)
+        return out
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """Validated bundle of scheduler, pool, registry and refresh knobs.
 
@@ -198,6 +273,11 @@ class ServingConfig:
     #: Network front-end section (None = in-process serving only).
     http: Optional[HttpConfig] = None
 
+    # -- estimator cascade (PR 10) ------------------------------------
+    #: Routing section for :meth:`EstimationService.enable_cascade`
+    #: (None = every query goes straight to the neural model).
+    cascade: Optional[CascadeConfig] = None
+
     def __post_init__(self) -> None:
         self.validate()
 
@@ -252,6 +332,13 @@ class ServingConfig:
                     f"http must be an HttpConfig (or None), got {type(self.http).__name__}"
                 )
             self.http.validate()
+        if self.cascade is not None:
+            if not isinstance(self.cascade, CascadeConfig):
+                raise ServingError(
+                    "cascade must be a CascadeConfig (or None), got "
+                    f"{type(self.cascade).__name__}"
+                )
+            self.cascade.validate()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -272,6 +359,10 @@ class ServingConfig:
         if isinstance(http, dict):
             values = dict(values)
             values["http"] = HttpConfig.from_dict(http)
+        cascade = values.get("cascade")
+        if isinstance(cascade, dict):
+            values = dict(values)
+            values["cascade"] = CascadeConfig.from_dict(cascade)
         return cls(**values)
 
     def to_dict(self) -> dict:
@@ -279,6 +370,8 @@ class ServingConfig:
         out = dataclasses.asdict(self)
         if self.http is not None:
             out["http"] = self.http.to_dict()
+        if self.cascade is not None:
+            out["cascade"] = self.cascade.to_dict()
         return out
 
     # ------------------------------------------------------------------

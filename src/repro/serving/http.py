@@ -15,6 +15,10 @@ only — no framework dependency) exposing an
     bound), and ``deadline_ms`` bounds the whole request —
     requests predicted to miss it are shed with 503 *before* consuming
     scheduler batch slots (see :mod:`repro.serving.admission`).
+    With an estimator cascade attached (:mod:`repro.serving.cascade`),
+    ``budget_ms``/``max_q_error`` set the per-query routing contract and
+    responses carry ``"tier"`` (or per-query ``"tiers"``) naming the
+    estimator that answered.
 
 ``GET /healthz``
     Liveness/readiness JSON: registry contents, scheduler/pool/refresher
@@ -72,7 +76,17 @@ _REASONS = {
 }
 
 _ESTIMATE_KEYS = frozenset(
-    {"query", "queries", "seed", "seeds", "n_samples", "max_rel_var", "deadline_ms"}
+    {
+        "query",
+        "queries",
+        "seed",
+        "seeds",
+        "n_samples",
+        "max_rel_var",
+        "deadline_ms",
+        "budget_ms",
+        "max_q_error",
+    }
 )
 
 
@@ -369,7 +383,8 @@ class EstimationHttpServer:
             return finish(503, {"error": "server is draining"}, [("Retry-After", "1")])
         try:
             (
-                queries, seeds, single, n_samples, max_rel_var, deadline_s
+                queries, seeds, single, n_samples, max_rel_var, deadline_s,
+                budget_ms, max_q_error,
             ) = self._parse_estimate(body)
         except _BadRequest as exc:
             return finish(400, {"error": str(exc)})
@@ -399,6 +414,7 @@ class EstimationHttpServer:
                     self.service.submit(
                         query, model=model, seed=seed, n_samples=n_samples,
                         max_rel_var=max_rel_var, deadline=abs_deadline,
+                        budget_ms=budget_ms, max_q_error=max_q_error,
                     )
                     for query, seed in zip(queries, seeds)
                 ]
@@ -442,6 +458,14 @@ class EstimationHttpServer:
             payload["estimates"] = [float(e) for e in estimates]
         if n_degraded:
             payload["degraded"] = True
+        tiers = [getattr(f, "tier", None) for f in futures]
+        if any(t is not None for t in tiers):
+            # Cascade-routed answers report who answered; responses keep
+            # their pre-cascade shape when no cascade is attached.
+            if single:
+                payload["tier"] = tiers[0]
+            else:
+                payload["tiers"] = tiers
         return finish(200, payload)
 
     def _parse_estimate(self, body: bytes):
@@ -489,12 +513,33 @@ class EstimationHttpServer:
         if deadline_ms is not None:
             if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
                 raise _BadRequest("'deadline_ms' must be a positive number")
+        budget_ms = doc.get("budget_ms")
+        if budget_ms is not None:
+            if (
+                not isinstance(budget_ms, (int, float))
+                or isinstance(budget_ms, bool)
+                or budget_ms <= 0
+            ):
+                raise _BadRequest("'budget_ms' must be a positive number")
+            budget_ms = float(budget_ms)
+        max_q_error = doc.get("max_q_error")
+        if max_q_error is not None:
+            if (
+                not isinstance(max_q_error, (int, float))
+                or isinstance(max_q_error, bool)
+                or max_q_error < 1
+            ):
+                raise _BadRequest("'max_q_error' must be a number >= 1")
+            max_q_error = float(max_q_error)
         try:
             queries = [query_from_dict(q) for q in raw_queries]
         except QueryError as exc:
             raise _BadRequest(str(exc)) from exc
         deadline_s = deadline_ms / 1e3 if deadline_ms is not None else None
-        return queries, seeds, single, n_samples, max_rel_var, deadline_s
+        return (
+            queries, seeds, single, n_samples, max_rel_var, deadline_s,
+            budget_ms, max_q_error,
+        )
 
     # ------------------------------------------------------------------
     # GET /healthz
@@ -527,6 +572,7 @@ class EstimationHttpServer:
             "pools": service_stats.get("pools", {}),
             "refreshers": refreshers,
             "admission": self.admission.stats(),
+            "cascade": service_stats.get("cascade", {}),
         }
         return (503 if self._draining else 200), payload, []
 
@@ -565,6 +611,24 @@ class EstimationHttpServer:
         for model, stats in service_stats.get("resilience", {}).items():
             for key, value in stats.items():
                 resilience_g.set(float(value), model=model, stat=key)
+        tier_g = self.metrics.gauge(
+            "repro_cascade_tier_total",
+            "Cascade-routed queries answered, by model and tier.",
+        )
+        escalation_g = self.metrics.gauge(
+            "repro_cascade_escalation_rate",
+            "Fraction of cascade-routed queries escalated to the final tier.",
+        )
+        demotion_g = self.metrics.gauge(
+            "repro_cascade_staleness_demotion",
+            "Multiplier applied to the neural tier's calibrated bound "
+            "(1.0 = fresh model).",
+        )
+        for model, cstats in service_stats.get("cascade", {}).items():
+            for tier, count in cstats.get("tiers", {}).items():
+                tier_g.set(float(count), model=model, tier=tier)
+            escalation_g.set(float(cstats.get("escalation_rate", 0.0)), model=model)
+            demotion_g.set(float(cstats.get("staleness_demotion", 1.0)), model=model)
         staleness_qerror = self.metrics.gauge(
             "repro_drift_staleness_qerror",
             "Rolling served-estimate q-error vs reported truths.",

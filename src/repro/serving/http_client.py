@@ -94,6 +94,9 @@ class HttpEstimationClient:
         self._rng = random.Random(retry_seed)
         #: Wire-level retries performed (connection drops + retried 429/503).
         self.n_retries = 0
+        #: Tier(s) that answered the most recent estimate call (None when
+        #: the server has no cascade attached). Per-call, not thread-safe.
+        self.last_tier = None
         self._local = threading.local()
 
     # ------------------------------------------------------------------
@@ -216,8 +219,15 @@ class HttpEstimationClient:
         n_samples: Optional[int] = None,
         max_rel_var: Optional[float] = None,
         deadline_ms: Optional[float] = None,
+        budget_ms: Optional[float] = None,
+        max_q_error: Optional[float] = None,
     ) -> float:
-        """Blocking single-query estimate over the wire."""
+        """Blocking single-query estimate over the wire.
+
+        ``budget_ms``/``max_q_error`` are the cascade routing contract
+        (servers without an attached cascade accept and ignore them); the
+        answering tier is recorded on :attr:`last_tier`.
+        """
         body: Dict[str, object] = {"query": query_to_dict(query)}
         if seed is not None:
             body["seed"] = seed
@@ -227,7 +237,12 @@ class HttpEstimationClient:
             body["max_rel_var"] = max_rel_var
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
+        if budget_ms is not None:
+            body["budget_ms"] = budget_ms
+        if max_q_error is not None:
+            body["max_q_error"] = max_q_error
         doc = self._post_estimate(body)
+        self.last_tier = doc.get("tier")
         return float(doc["estimate"])
 
     def estimate_batch(
@@ -238,8 +253,14 @@ class HttpEstimationClient:
         n_samples: Optional[int] = None,
         max_rel_var: Optional[float] = None,
         deadline_ms: Optional[float] = None,
+        budget_ms: Optional[float] = None,
+        max_q_error: Optional[float] = None,
     ) -> np.ndarray:
-        """Batch estimate over the wire; one request, order-preserving."""
+        """Batch estimate over the wire; one request, order-preserving.
+
+        With a cascade attached server-side, :attr:`last_tier` holds the
+        per-query tier list from the response.
+        """
         body: Dict[str, object] = {
             "queries": [query_to_dict(q) for q in queries]
         }
@@ -251,7 +272,12 @@ class HttpEstimationClient:
             body["max_rel_var"] = max_rel_var
         if deadline_ms is not None:
             body["deadline_ms"] = deadline_ms
+        if budget_ms is not None:
+            body["budget_ms"] = budget_ms
+        if max_q_error is not None:
+            body["max_q_error"] = max_q_error
         doc = self._post_estimate(body)
+        self.last_tier = doc.get("tiers")
         return np.array(doc["estimates"], dtype=np.float64)
 
     def _post_estimate(self, body: Dict[str, object]) -> dict:

@@ -121,6 +121,10 @@ class MicroBatchScheduler:
         self.n_cache_hits = 0
         self.n_flushed_requests = 0
         self.n_deadline_expired = 0
+        # Exponentially weighted submit->resolve latency (ms); the cascade
+        # reads this as the neural tier's predicted latency when deciding
+        # whether the scheduler path fits a caller's budget_ms.
+        self._ewma_latency_ms: Optional[float] = None
         self._flusher = threading.Thread(
             target=self._run, name=f"microbatch-{name}", daemon=True
         )
@@ -190,6 +194,11 @@ class MicroBatchScheduler:
         futures = [self.submit(q) for q in queries]
         return np.array([f.result() for f in futures], dtype=np.float64)
 
+    def predicted_latency_ms(self) -> Optional[float]:
+        """EWMA of observed submit->resolve latency, or None before any batch."""
+        with self._lock:
+            return self._ewma_latency_ms
+
     def invalidate(self) -> None:
         """Drop every cached result (hot-swaps do this implicitly via versions)."""
         with self._lock:
@@ -206,6 +215,11 @@ class MicroBatchScheduler:
                     self.n_flushed_requests / self.n_batches if self.n_batches else 0.0
                 ),
                 "deadline_expired": self.n_deadline_expired,
+                "ewma_latency_ms": (
+                    self._ewma_latency_ms
+                    if self._ewma_latency_ms is not None
+                    else 0.0
+                ),
             }
         out.update(self._engine_stats())
         return out
@@ -434,9 +448,17 @@ class MicroBatchScheduler:
                 ),
             )
             return
+        now = time.perf_counter()
         with self._lock:
             self.n_batches += 1
             self.n_flushed_requests += len(requests)
+            for request in requests:
+                lat_ms = (now - request.enqueued_at) * 1e3
+                self._ewma_latency_ms = (
+                    lat_ms
+                    if self._ewma_latency_ms is None
+                    else 0.2 * lat_ms + 0.8 * self._ewma_latency_ms
+                )
             for request, estimate in zip(requests, estimates):
                 value = float(estimate)
                 # Re-key under the version actually served: a swap between

@@ -31,8 +31,10 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 import warnings
 from concurrent.futures import Future
+from pathlib import Path
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -41,6 +43,7 @@ from repro.core.estimator import NeuroCard
 from repro.errors import DeadlineError, QueryError, ServingError
 from repro.relational.query import Query
 from repro.relational.schema import JoinSchema
+from repro.serving.cascade import CascadeCalibration, EstimatorCascade, Tier
 from repro.serving.config import ServingConfig
 from repro.serving.registry import ModelRegistry
 from repro.serving.resilience import FALLBACK, PROBE, CircuitBreaker
@@ -107,6 +110,7 @@ class EstimationService:
         self._pools: Dict[str, WorkerPool] = {}
         self._refreshers: list[BackgroundRefresher] = []
         self._breakers: Dict[str, CircuitBreaker] = {}
+        self._cascades: Dict[str, EstimatorCascade] = {}
         self._fallbacks: Dict[str, object] = {}
         self._degraded: Dict[str, int] = {}
         self._fallback_errors: Dict[str, int] = {}
@@ -174,6 +178,11 @@ class EstimationService:
             if self._closed:
                 raise ServingError("service is closed")
             self._refreshers.append(refresher)
+            cascade = self._cascades.get(name)
+        if cascade is not None:
+            # Stale model -> the cascade demotes the neural tier's bound
+            # (routing path), long before the breaker sees failures.
+            self._wire_staleness(name, cascade, [refresher])
         return refresher.start()
 
     def register_fallback(
@@ -220,6 +229,148 @@ class EstimationService:
                 )
                 self._breakers[name] = breaker
         return breaker
+
+    # ------------------------------------------------------------------
+    # Estimator cascade (routing path; distinct from the breaker above)
+    # ------------------------------------------------------------------
+    def attach_cascade(
+        self, cascade: EstimatorCascade, model: Optional[str] = None
+    ) -> "EstimationService":
+        """Route ``model``'s submits through ``cascade``.
+
+        The cascade's final tier must be its neural tier: queries routed
+        there go through the registered model's micro-batching scheduler
+        (seeds, caching, deadlines, breaker all apply); queries a cheaper
+        tier answers are served inline and skip batching entirely.
+        """
+        name = self._resolve(model)
+        if name not in self.registry:
+            raise ServingError(f"unknown model {name!r}")
+        if not cascade.final_tier.neural:
+            raise ServingError(
+                "the cascade's final tier must be registered with neural=True"
+            )
+        with self._lock:
+            if self._closed:
+                raise ServingError("service is closed")
+            self._cascades[name] = cascade
+            refreshers = list(self._refreshers)
+        self._wire_staleness(name, cascade, refreshers)
+        return self
+
+    def enable_cascade(
+        self,
+        model: Optional[str] = None,
+        *,
+        estimators: Optional[Dict[str, object]] = None,
+        calibration: Optional[CascadeCalibration] = None,
+    ) -> EstimatorCascade:
+        """Build + attach the cascade described by ``config.cascade``.
+
+        Tier names in ``config.cascade.tiers`` (final entry = the neural
+        tier, served by the registered model) resolve to built-ins —
+        ``per_table``/``stats``, ``deepdb``/``spn``, ``join_samples``/
+        ``sampling`` — unless ``estimators`` supplies an instance for that
+        name. Calibration comes from the ``calibration`` argument, else
+        ``config.cascade.calibration_path`` when the file exists, else the
+        cascade starts uncalibrated (everything escalates until
+        :meth:`EstimatorCascade.calibrate` runs).
+        """
+        cfg = self.config.cascade
+        if cfg is None:
+            raise ServingError(
+                "enable_cascade requires a config.cascade section "
+                "(or build an EstimatorCascade and attach_cascade it)"
+            )
+        name = self._resolve(model)
+        if name not in self.registry:
+            raise ServingError(f"unknown model {name!r}")
+        primary = self.registry.get(name)
+        schema = getattr(primary, "schema", None)
+        if schema is None:  # bare inference engines carry it on the layout
+            layout = getattr(primary, "layout", None)
+            schema = getattr(layout, "schema", None)
+        if schema is None:
+            raise ServingError(
+                f"model {name!r} exposes no schema; cascade tiers cannot be built"
+            )
+        if calibration is None and cfg.calibration_path is not None:
+            path = Path(cfg.calibration_path)
+            if path.exists():
+                calibration = CascadeCalibration.load(path)
+        cascade = EstimatorCascade(
+            schema,
+            calibration=calibration,
+            default_max_q_error=cfg.default_max_q_error,
+            default_budget_ms=cfg.default_budget_ms,
+            min_class_queries=cfg.min_class_queries,
+            demote_staleness_qerror=cfg.demote_staleness_qerror,
+        )
+        supplied = dict(estimators or {})
+        for tier_name in cfg.tiers[:-1]:
+            estimator = supplied.pop(tier_name, None)
+            if estimator is None:
+                estimator = self._build_tier(tier_name, schema)
+            cascade.register(tier_name, estimator)
+        final_name = cfg.tiers[-1]
+        cascade.register(final_name, supplied.pop(final_name, primary), neural=True)
+        if supplied:
+            raise ServingError(
+                f"estimators supplied for unknown cascade tiers: {sorted(supplied)}"
+            )
+        self.attach_cascade(cascade, name)
+        return cascade
+
+    @staticmethod
+    def _build_tier(tier_name: str, schema: JoinSchema):
+        """Default estimator for a named tier (lazy imports keep layering)."""
+        if tier_name in ("per_table", "stats"):
+            from repro.baselines.per_table import PerTableStatsEstimator
+
+            return PerTableStatsEstimator(schema)
+        if tier_name in ("deepdb", "spn"):
+            from repro.baselines.spn import DeepDBEstimator
+
+            return DeepDBEstimator(schema)
+        if tier_name in ("join_samples", "sampling"):
+            from repro.baselines.sampling import JoinSampleEstimator
+
+            return JoinSampleEstimator(schema)
+        raise ServingError(
+            f"no built-in estimator for cascade tier {tier_name!r}; "
+            "pass estimators={...} with an instance"
+        )
+
+    def cascade_for(self, model: Optional[str] = None) -> Optional[EstimatorCascade]:
+        """The cascade attached to ``model`` (None when routing is off)."""
+        name = self._resolve(model)
+        with self._lock:
+            return self._cascades.get(name)
+
+    def _neural_latency_ms(self, name: str) -> Optional[float]:
+        with self._lock:
+            scheduler = self._schedulers.get(name)
+        if scheduler is None:
+            return None
+        return scheduler.predicted_latency_ms()
+
+    @staticmethod
+    def _wire_staleness(
+        name: str, cascade: EstimatorCascade, refreshers
+    ) -> None:
+        """Point the cascade's demotion signal at ``name``'s drift monitor."""
+        if cascade.staleness_provider is not None:
+            return
+        for refresher in refreshers:
+            if refresher.name != name:
+                continue
+            monitor, ingestor = refresher.monitor, refresher.ingestor
+
+            def _staleness() -> float:
+                return monitor.observe(*ingestor.snapshot()).staleness_qerror
+
+            cascade.staleness_provider = _staleness
+            return
 
     # ------------------------------------------------------------------
     # Serving
@@ -280,16 +431,107 @@ class EstimationService:
         n_samples: Optional[int] = None,
         max_rel_var: Optional[float] = None,
         deadline: Optional[float] = None,
+        budget_ms: Optional[float] = None,
+        max_q_error: Optional[float] = None,
     ) -> Future:
-        """Submit ``query``; resolves through the fallback cascade if attached.
+        """Submit ``query``; routed through the cascade / breaker when attached.
 
         ``deadline`` is an absolute ``time.monotonic()`` timestamp: requests
         still queued when it passes fail with
         :class:`~repro.errors.DeadlineError` *before* dispatch, so expired
         work never occupies a worker. Returned futures carry a ``degraded``
         attribute (True when the answer came from the fallback estimator).
+
+        With a cascade attached (:meth:`attach_cascade`), ``budget_ms`` and
+        ``max_q_error`` are the caller's per-query contract: a cheap tier
+        whose calibrated bound fits answers inline — no queueing, no
+        batching — and the returned future carries ``future.tier``; only
+        escalated queries reach the scheduler (and the breaker's failure
+        path). Without a cascade both knobs are ignored.
         """
         name = self._resolve(model)
+        cascade = self._cascades.get(name)
+        if cascade is not None:
+            decision = cascade.route(
+                query,
+                max_q_error=max_q_error,
+                budget_ms=budget_ms,
+                neural_latency_ms=self._neural_latency_ms(name),
+            )
+            if not decision.tier.neural:
+                inline = self._answer_inline(
+                    cascade, decision.tier, query, deadline
+                )
+                if inline is not None:
+                    return inline
+                # Tier raised a serving (non-Query) error: escalate this
+                # query to the neural tier instead of failing the caller.
+            future = self._submit_neural(
+                name,
+                query,
+                seed=seed,
+                n_samples=n_samples,
+                max_rel_var=max_rel_var,
+                deadline=deadline,
+            )
+            final_name = cascade.final_tier.name
+            cascade.record_answer(final_name)
+            future.tier = final_name
+            return future
+        return self._submit_neural(
+            name,
+            query,
+            seed=seed,
+            n_samples=n_samples,
+            max_rel_var=max_rel_var,
+            deadline=deadline,
+        )
+
+    def _answer_inline(
+        self,
+        cascade: EstimatorCascade,
+        tier: Tier,
+        query: Query,
+        deadline: Optional[float],
+    ) -> Optional[Future]:
+        """Serve ``query`` from a cheap tier, inline on the caller's thread.
+
+        Returns None when the tier fails with a serving error (the caller
+        escalates to the neural path); invalid-query errors raise — they
+        are the caller's bug on every tier alike.
+        """
+        future: Future = Future()
+        future.degraded = False
+        future.tier = tier.name
+        if deadline is not None and time.monotonic() >= deadline:
+            future.set_exception(
+                DeadlineError(
+                    f"deadline expired before inline tier {tier.name!r} ran"
+                )
+            )
+            return future
+        try:
+            value = float(tier.estimator.estimate(query))
+        except QueryError:
+            raise
+        except Exception:
+            cascade.record_tier_error(tier.name)
+            return None
+        cascade.record_answer(tier.name)
+        future.set_result(value)
+        return future
+
+    def _submit_neural(
+        self,
+        name: str,
+        query: Query,
+        *,
+        seed: Optional[int],
+        n_samples: Optional[int],
+        max_rel_var: Optional[float],
+        deadline: Optional[float],
+    ) -> Future:
+        """The pre-cascade submit path: scheduler + breaker/fallback cascade."""
         fallback = self._fallbacks.get(name)
         if fallback is None:
             # No fallback registered: original semantics, untouched — the
@@ -388,6 +630,7 @@ class EstimationService:
             pools = dict(self._pools)
             refreshers = list(self._refreshers)
             breakers = dict(self._breakers)
+            cascades = dict(self._cascades)
             fallbacks = set(self._fallbacks)
             degraded = dict(self._degraded)
             fallback_errors = dict(self._fallback_errors)
@@ -413,6 +656,8 @@ class EstimationService:
                 entry["fallback_errors"] = fallback_errors.get(name, 0)
                 resilience[name] = entry
             stats["resilience"] = resilience
+        if cascades:
+            stats["cascade"] = {name: c.stats() for name, c in cascades.items()}
         return stats
 
     def close(self) -> None:

@@ -19,6 +19,7 @@ import pytest
 
 from repro.errors import ServingError
 from repro.serving import (
+    CascadeConfig,
     EstimationClient,
     EstimationService,
     MicroBatchScheduler,
@@ -208,3 +209,68 @@ def test_only_still_rejects_unknown_names_in_comma_lists(tmp_path):
     proc = _run_gate(tmp_path, ["--only", "alpha,delta"])
     assert proc.returncode != 0
     assert "delta" in (proc.stdout + proc.stderr)
+
+
+# ----------------------------------------------------------------------
+# CascadeConfig (the `cascade` section, PR 10)
+# ----------------------------------------------------------------------
+def test_cascade_defaults_validate():
+    cascade = CascadeConfig()
+    assert cascade.tiers == ("per_table", "neural")
+    assert cascade.calibration_path is None
+    assert cascade.default_max_q_error == 4.0
+    assert cascade.default_budget_ms is None
+    assert cascade.min_class_queries == 8
+    assert cascade.demote_staleness_qerror == 2.0
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("tiers", ()),
+        ("tiers", ("per_table", "per_table")),
+        ("tiers", ("per_table", "")),
+        ("default_max_q_error", 0.5),
+        ("default_budget_ms", 0.0),
+        ("default_budget_ms", -1.0),
+        ("min_class_queries", 0),
+        ("demote_staleness_qerror", 0.9),
+    ],
+)
+def test_invalid_cascade_fields_fail_at_construction(field, value):
+    with pytest.raises(ServingError):
+        CascadeConfig(**{field: value})
+
+
+def test_cascade_unknown_keys_are_hard_errors():
+    with pytest.raises(ServingError):
+        CascadeConfig.from_dict({"tierss": ("a", "b")})
+
+
+def test_cascade_tiers_list_is_normalized_to_tuple():
+    cascade = CascadeConfig.from_dict({"tiers": ["per_table", "neural"]})
+    assert cascade.tiers == ("per_table", "neural")
+
+
+def test_cascade_section_round_trips_inside_serving_config():
+    config = ServingConfig(
+        max_batch=16,
+        cascade=CascadeConfig(
+            tiers=("per_table", "deepdb", "neural"),
+            calibration_path="/tmp/calibration.json",
+            default_max_q_error=1.5,
+            default_budget_ms=2.0,
+            min_class_queries=4,
+            demote_staleness_qerror=3.0,
+        ),
+    )
+    assert ServingConfig.from_dict(config.to_dict()) == config
+    # JSON-transportable, like every other section.
+    assert ServingConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
+    # Config-less posture stays cascade-free after a round trip.
+    assert ServingConfig.from_dict(ServingConfig().to_dict()).cascade is None
+
+
+def test_cascade_section_must_be_a_cascade_config():
+    with pytest.raises(ServingError):
+        ServingConfig(cascade="per_table,neural")

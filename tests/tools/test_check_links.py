@@ -62,3 +62,132 @@ def test_escaping_the_checkout_is_skipped(docs_tree):
     )
     result = run_checker(docs_tree, "README.md", "docs")
     assert result.returncode == 0, result.stdout + result.stderr
+
+
+# ----------------------------------------------------------------------
+# Documented config-field tables checked against the dataclasses (PR 10)
+# ----------------------------------------------------------------------
+CONFIG_SRC = '''\
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class HttpConfig:
+    host: str = "127.0.0.1"
+    port: int = 0
+
+
+@dataclass(frozen=True)
+class CascadeConfig:
+    tiers: Tuple[str, ...] = ("per_table", "neural")
+    default_budget_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    max_batch: int = 64
+    http: Optional[HttpConfig] = None
+    cascade: Optional[CascadeConfig] = None
+'''
+
+
+def run_config_checker(cwd, *paths):
+    return subprocess.run(
+        [
+            sys.executable, os.path.abspath(TOOL),
+            "--serving-config", "config.py", *paths,
+        ],
+        cwd=cwd, capture_output=True, text=True,
+    )
+
+
+@pytest.fixture()
+def config_tree(tmp_path):
+    (tmp_path / "config.py").write_text(CONFIG_SRC)
+    (tmp_path / "docs").mkdir()
+    return tmp_path
+
+
+def write_doc(tree, body):
+    (tree / "docs" / "config.md").write_text(body)
+
+
+def test_valid_config_tables_pass_and_are_counted(config_tree):
+    write_doc(
+        config_tree,
+        "# Config\n\n## Scheduler (`ServingConfig`)\n\n"
+        "| Field | Meaning |\n| --- | --- |\n| `max_batch` | flush size |\n",
+    )
+    result = run_config_checker(config_tree, "docs")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "1 documented config fields" in result.stdout
+
+
+def test_stale_field_fails_with_a_clickable_location(config_tree):
+    write_doc(
+        config_tree,
+        "# Config\n\n## Scheduler (`ServingConfig`)\n\n"
+        "| Field | Meaning |\n| --- | --- |\n| `max_batchh` | typo |\n",
+    )
+    result = run_config_checker(config_tree, "docs")
+    assert result.returncode != 0
+    assert "max_batchh" in result.stdout
+    assert "config.md:7" in result.stdout
+    assert "ServingConfig" in result.stdout
+
+
+def test_attribute_path_headings_resolve_nested_sections(config_tree):
+    write_doc(
+        config_tree,
+        "# Config\n\n## HTTP (`ServingConfig.http`)\n\n"
+        "| Field | Meaning |\n| --- | --- |\n| `host` | bind |\n"
+        "| `port` | 0 = ephemeral |\n\n"
+        "## Cascade (`ServingConfig.cascade`)\n\n"
+        "| Field | Meaning |\n| --- | --- |\n| `tiers` | order |\n",
+    )
+    result = run_config_checker(config_tree, "docs")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "3 documented config fields" in result.stdout
+    # The same field names under the wrong section are stale.
+    write_doc(
+        config_tree,
+        "# Config\n\n## Cascade (`ServingConfig.cascade`)\n\n"
+        "| Field | Meaning |\n| --- | --- |\n| `host` | wrong class |\n",
+    )
+    result = run_config_checker(config_tree, "docs")
+    assert result.returncode != 0
+    assert "CascadeConfig" in result.stdout
+
+
+def test_a_later_heading_closes_the_config_scope(config_tree):
+    write_doc(
+        config_tree,
+        "# Config\n\n## HTTP (`ServingConfig.http`)\n\nIntro.\n\n"
+        "## Unrelated notes\n\n"
+        "| Column | Meaning |\n| --- | --- |\n| `whatever` | unchecked |\n",
+    )
+    result = run_config_checker(config_tree, "docs")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_tables_inside_code_fences_are_ignored(config_tree):
+    write_doc(
+        config_tree,
+        "# Config\n\n## Scheduler (`ServingConfig`)\n\n"
+        "```\n| `max_batchh` | not real |\n```\n",
+    )
+    result = run_config_checker(config_tree, "docs")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_absent_config_module_skips_field_checking(config_tree):
+    (config_tree / "config.py").unlink()
+    write_doc(
+        config_tree,
+        "# Config\n\n## Scheduler (`ServingConfig`)\n\n"
+        "| Field | Meaning |\n| --- | --- |\n| `max_batchh` | typo |\n",
+    )
+    # Links still checked; field validation silently off without the module.
+    result = run_config_checker(config_tree, "docs")
+    assert result.returncode == 0, result.stdout + result.stderr

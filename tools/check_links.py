@@ -13,6 +13,16 @@ Scans Markdown files for inline links and images (``[text](target)`` /
   that climb out of the checkout (GitHub-side URLs like the CI badge's
   ``../../actions/...`` path, which only resolve on github.com).
 
+It also keeps documented config tables honest: under a heading that
+names a ``*Config`` class (``## Cascade (`ServingConfig.cascade`)``),
+every table row whose first cell is a bare-identifier code span must
+name a real dataclass field of that class. Classes and their fields are
+parsed (``ast``, no import) from the serving config module
+(``--serving-config``, default ``src/repro/serving/config.py``; the
+check is skipped when the file does not exist). Attribute paths resolve
+through nested config fields, so ``ServingConfig.http`` scopes its table
+to ``HttpConfig``'s fields.
+
 Exit status is non-zero when any link is broken, with one line per
 offender (``file:line: target — reason``), so the CI docs job fails
 loudly and the offending link is clickable in the log.
@@ -23,16 +33,25 @@ Run:  python tools/check_links.py README.md docs
 from __future__ import annotations
 
 import argparse
+import ast
 import os
 import re
 import sys
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 #: Inline links/images. The target group stops at whitespace or ')' which
 #: covers every link in this repo; optional '"title"' suffixes are dropped.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
-HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+#: A heading that scopes the tables below it to a config class: the class
+#: name itself (``HttpConfig``) or an attribute path into a nested config
+#: field (``ServingConfig.http`` -> HttpConfig).
+CONFIG_HEADING_RE = re.compile(r"\b(\w*Config)\b(?:\.(\w+))?")
+#: A table row's first cell documenting one field: a bare identifier in a
+#: code span, optionally followed by prose (type, default).
+FIELD_CELL_RE = re.compile(r"`([A-Za-z_][A-Za-z0-9_]*)`")
 
 
 def slugify(heading: str) -> str:
@@ -54,8 +73,100 @@ def headings(path: str) -> List[str]:
                 continue
             match = HEADING_RE.match(line)
             if match:
-                slugs.append(slugify(match.group(1)))
+                slugs.append(slugify(match.group(2)))
     return slugs
+
+
+def config_fields(config_path: str) -> Dict[str, Dict[str, Optional[str]]]:
+    """``class -> {field -> nested *Config class or None}`` via ast, no import.
+
+    Every ``*Config`` class's annotated assignments are its fields; a
+    field whose annotation mentions another ``*Config`` class (e.g.
+    ``http: Optional[HttpConfig]``) maps to that class so documented
+    attribute paths like ``ServingConfig.http`` resolve through it.
+    """
+    with open(config_path, encoding="utf-8") as f:
+        tree = ast.parse(f.read(), filename=config_path)
+    classes: Dict[str, Dict[str, Optional[str]]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef) or not node.name.endswith("Config"):
+            continue
+        fields: Dict[str, Optional[str]] = {}
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                nested = re.search(r"\b(\w+Config)\b", ast.unparse(stmt.annotation))
+                fields[stmt.target.id] = nested.group(1) if nested else None
+        classes[node.name] = fields
+    return classes
+
+
+def resolve_config_heading(
+    heading: str, classes: Dict[str, Dict[str, Optional[str]]]
+) -> Optional[str]:
+    """The config class a heading scopes its tables to, if any."""
+    for match in CONFIG_HEADING_RE.finditer(heading):
+        cls, attr = match.group(1), match.group(2)
+        if cls not in classes:
+            continue
+        if attr is None:
+            return cls
+        nested = classes[cls].get(attr)
+        if nested in classes:
+            return nested
+    return None
+
+
+def check_config_tables(
+    path: str, classes: Dict[str, Dict[str, Optional[str]]]
+) -> Tuple[List[str], int]:
+    """Validate field code spans in tables under config-class headings.
+
+    Returns ``(errors, n_checked)``. Only the *first* cell of a table row
+    is a field declaration; later cells may cite unrelated identifiers.
+    A heading scopes everything until the next heading of the same or
+    higher level (tracked with a context stack).
+    """
+    errors: List[str] = []
+    n_checked = 0
+    stack: List[Tuple[int, Optional[str]]] = []  # (heading level, class)
+    with open(path, encoding="utf-8") as f:
+        in_code = False
+        for lineno, line in enumerate(f, start=1):
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            heading = HEADING_RE.match(line)
+            if heading:
+                level = len(heading.group(1))
+                while stack and stack[-1][0] >= level:
+                    stack.pop()
+                stack.append(
+                    (level, resolve_config_heading(heading.group(2), classes))
+                )
+                continue
+            current = next(
+                (cls for _, cls in reversed(stack) if cls is not None), None
+            )
+            if current is None or not line.lstrip().startswith("|"):
+                continue
+            cells = line.strip().strip("|").split("|")
+            if not cells:
+                continue
+            first = cells[0].strip()
+            match = FIELD_CELL_RE.match(first)
+            if match is None or set(first) <= {"-", ":", " "}:
+                continue  # separator row, header row, or prose cell
+            field = match.group(1)
+            if field in classes[current]:
+                n_checked += 1
+            else:
+                errors.append(
+                    f"{path}:{lineno}: `{field}` — not a field of "
+                    f"{current} (documented table is stale)"
+                )
+    return errors, n_checked
 
 
 def iter_links(path: str) -> Iterator[Tuple[int, str]]:
@@ -121,19 +232,39 @@ def main() -> None:
         "paths", nargs="*", default=["README.md", "docs"],
         help="Markdown files and/or directories to scan (default: README.md docs)",
     )
+    parser.add_argument(
+        "--serving-config", default="src/repro/serving/config.py",
+        help="config module whose *Config dataclass fields gate documented "
+        "config tables (skipped when the file does not exist)",
+    )
     args = parser.parse_args()
     files = collect(args.paths or ["README.md", "docs"])
     if not files:
         sys.exit("no Markdown files found — wrong invocation directory?")
+    classes = (
+        config_fields(args.serving_config)
+        if os.path.exists(args.serving_config) else {}
+    )
     errors: List[str] = []
     n_links = 0
+    n_fields = 0
     for path in files:
         n_links += sum(1 for _ in iter_links(path))
         errors.extend(check_file(path))
+        if classes:
+            field_errors, checked = check_config_tables(path, classes)
+            errors.extend(field_errors)
+            n_fields += checked
     if errors:
         print("\n".join(errors))
-        sys.exit(f"{len(errors)} broken link(s) across {len(files)} file(s)")
-    print(f"link check passed: {n_links} links across {len(files)} files")
+        sys.exit(
+            f"{len(errors)} broken link(s)/stale field(s) "
+            f"across {len(files)} file(s)"
+        )
+    print(
+        f"link check passed: {n_links} links and {n_fields} documented "
+        f"config fields across {len(files)} files"
+    )
 
 
 if __name__ == "__main__":
